@@ -1,0 +1,485 @@
+package repro
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (DESIGN.md experiment index) plus the ablation benches.
+// The dynamical benchmarks integrate full SOLC runs, so a single
+// iteration takes seconds; testing.B handles that (they report
+// wall-clock per solve). Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full tables with cmd/dmm-bench.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+	"repro/internal/classical"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/memristor"
+	"repro/internal/sat"
+	"repro/internal/solc"
+	"repro/internal/solg"
+)
+
+// ---- Table I ----
+
+func BenchmarkTableIGateCheck(b *testing.B) {
+	kinds := []solg.Kind{solg.AND, solg.OR, solg.XOR, solg.NAND, solg.NOR, solg.XNOR, solg.NOT}
+	for i := 0; i < b.N; i++ {
+		for _, k := range kinds {
+			g := solg.MustNew(k, 1)
+			if v := g.VerifyContract(1, 1e-2, 1); len(v) != 0 {
+				b.Fatal(v)
+			}
+		}
+	}
+}
+
+// ---- Fig. 4 ----
+
+func BenchmarkFig4StableUnstable(b *testing.B) {
+	g := solg.MustNew(solg.AND, 1)
+	for i := 0; i < b.N; i++ {
+		_ = g.Analyze([]bool{true, true, true}, 1, 1e-2, 1)
+		_ = g.Analyze([]bool{true, true, false}, 1, 1e-2, 1)
+	}
+}
+
+// ---- Fig. 7 ----
+
+func BenchmarkFig7FDCG(b *testing.B) {
+	d := device.DefaultVCDCG()
+	for i := 0; i < b.N; i++ {
+		for v := -1.5; v <= 1.5; v += 0.01 {
+			_ = d.FDCG(v)
+		}
+	}
+}
+
+// ---- Fig. 9 ----
+
+func BenchmarkFig9Theta(b *testing.B) {
+	steps := []*memristor.SmoothStep{
+		memristor.NewSmoothStep(1), memristor.NewSmoothStep(2), memristor.NewSmoothStep(3),
+	}
+	for i := 0; i < b.N; i++ {
+		for _, s := range steps {
+			for y := 0.0; y <= 1.0; y += 0.01 {
+				_ = s.Eval(y)
+				_ = s.Deriv(y)
+			}
+		}
+	}
+}
+
+// ---- Fig. 10 ----
+
+func BenchmarkFig10SEquilibria(b *testing.B) {
+	d := device.DefaultVCDCG()
+	for i := 0; i < b.N; i++ {
+		_ = d.SEquilibria(+d.Ki)
+		_ = d.SEquilibria(0)
+		_ = d.SEquilibria(-d.Ki)
+	}
+}
+
+// ---- Fig. 8: self-organizing 3-bit adder in reverse ----
+
+func BenchmarkFig8Adder3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bc := boolcirc.New()
+		wa := bc.NewSignals(3)
+		wb := bc.NewSignals(3)
+		sum := bc.RippleAdder(wa, wb)
+		pins := map[boolcirc.Signal]bool{}
+		for k, s := range sum {
+			pins[s] = 9&(1<<uint(k)) != 0
+		}
+		cs := solc.Compile(bc, pins, circuit.Default())
+		opts := solc.DefaultOptions()
+		opts.Seed = int64(i + 1)
+		res, err := cs.Solve(opts)
+		if err != nil || !res.Solved {
+			b.Fatalf("adder bench failed: %v %v", err, res.Reason)
+		}
+	}
+}
+
+// ---- Fig. 11: factorization topology (space scaling) ----
+
+func BenchmarkFig11TopologyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bc, _, _, pins := core.BuildCircuit(1<<17+1, 18)
+		_ = solc.Compile(bc, pins, circuit.Default())
+	}
+}
+
+// ---- Fig. 12: factorization convergence ----
+
+func BenchmarkFig12Factorization6bit(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 150
+	cfg.MaxAttempts = 4
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		fz := core.NewFactorizer(cfg)
+		res, err := fz.Factor(35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Solved {
+			b.Logf("seed %d: no convergence (%s)", cfg.Seed, res.Reason)
+		}
+	}
+}
+
+// ---- Fig. 13: prime input (non-convergence at a fixed horizon) ----
+
+func BenchmarkFig13PrimeHorizon(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 10
+	cfg.MaxAttempts = 1
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		fz := core.NewFactorizer(cfg)
+		res, err := fz.Factor(47)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Solved {
+			b.Fatal("prime factored?!")
+		}
+	}
+}
+
+// ---- Fig. 14: subset-sum topology ----
+
+func BenchmarkFig14TopologyBuild(b *testing.B) {
+	values := []uint64{13, 21, 34, 55, 89, 144, 233, 377}
+	for i := 0; i < b.N; i++ {
+		bc, _, pins := core.BuildSubsetSumCircuit(values, 9, 100)
+		_ = solc.Compile(bc, pins, circuit.Default())
+	}
+}
+
+// ---- Fig. 15: subset-sum convergence ----
+
+func BenchmarkFig15SubsetSum(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 150
+	cfg.MaxAttempts = 4
+	values := []uint64{3, 5, 6}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		ss := core.NewSubsetSum(cfg)
+		res, err := ss.Solve(values, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Solved {
+			b.Logf("seed %d: no convergence (%s)", cfg.Seed, res.Reason)
+		}
+	}
+}
+
+// ---- Sec. VII scaling series ----
+
+func BenchmarkScalingFactorization(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 120
+	cfg.MaxAttempts = 2
+	b.Run("bits=4", func(b *testing.B) { benchFactor(b, cfg, 4) })
+	b.Run("bits=6", func(b *testing.B) { benchFactor(b, cfg, 6) })
+}
+
+func benchFactor(b *testing.B, cfg core.Config, bits int) {
+	n := map[int]uint64{4: 15, 6: 35, 8: 143}[bits]
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		fz := core.NewFactorizer(cfg)
+		if _, err := fz.Factor(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScalingSubsetSum(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 120
+	cfg.MaxAttempts = 2
+	cases := []struct {
+		name   string
+		values []uint64
+		target uint64
+	}{
+		{"n=3,p=3", []uint64{3, 5, 6}, 8},
+		{"n=4,p=4", []uint64{3, 5, 9, 13}, 18},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				ss := core.NewSubsetSum(cfg)
+				if _, err := ss.Solve(c.values, c.target); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Direct-protocol baselines ----
+
+func BenchmarkBaselineDPLLFactor35(b *testing.B) {
+	bc, _, _, pins := core.BuildCircuit(35, 6)
+	cnf := bc.ToCNF(pins)
+	for i := 0; i < b.N; i++ {
+		if res := sat.DPLL(cnf, 0); res.Status != sat.Satisfiable {
+			b.Fatal("UNSAT?!")
+		}
+	}
+}
+
+func BenchmarkBaselineCDCLFactor35(b *testing.B) {
+	bc, _, _, pins := core.BuildCircuit(35, 6)
+	cnf := bc.ToCNF(pins)
+	for i := 0; i < b.N; i++ {
+		if res := sat.CDCL(cnf, 0); res.Status != sat.Satisfiable {
+			b.Fatal("UNSAT?!")
+		}
+	}
+}
+
+func BenchmarkBaselineCDCLPrimeUNSAT(b *testing.B) {
+	bc, _, _, pins := core.BuildCircuit(47, 6)
+	cnf := bc.ToCNF(pins)
+	for i := 0; i < b.N; i++ {
+		if res := sat.CDCL(cnf, 0); res.Status != sat.Unsatisfiable {
+			b.Fatal("should be UNSAT")
+		}
+	}
+}
+
+func BenchmarkBaselineTrialDivision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if classical.TrialDivision(35) != 5 {
+			b.Fatal("wrong factor")
+		}
+	}
+}
+
+func BenchmarkBaselineSubsetSumDP(b *testing.B) {
+	values := []uint64{3, 5, 6, 9, 13, 21}
+	for i := 0; i < b.N; i++ {
+		if _, ok := classical.SubsetSumDP(values, 28); !ok {
+			b.Fatal("should be satisfiable")
+		}
+	}
+}
+
+func BenchmarkBaselineSubsetSumMITM(b *testing.B) {
+	values := []uint64{3, 5, 6, 9, 13, 21, 34, 55}
+	for i := 0; i < b.N; i++ {
+		if _, ok := classical.SubsetSumMITM(values, 46); !ok {
+			b.Fatal("should be satisfiable")
+		}
+	}
+}
+
+// ---- Ablation benches (DESIGN.md design choices) ----
+
+// BenchmarkAblationIntegrators compares the IMEX stepper against the
+// adaptive explicit RK45 on the same reverse XOR gate.
+func BenchmarkAblationIntegrators(b *testing.B) {
+	solve := func(b *testing.B, mode solc.Mode, stepper string, h float64) {
+		bc := boolcirc.New()
+		x, y := bc.NewSignal(), bc.NewSignal()
+		o := bc.Xor(x, y)
+		cs := solc.CompileMode(bc, map[boolcirc.Signal]bool{o: true}, circuit.Default(), mode)
+		for i := 0; i < b.N; i++ {
+			opts := solc.DefaultOptions()
+			opts.Stepper = stepper
+			opts.H = h
+			opts.Seed = int64(i + 1)
+			opts.TEnd = 100
+			res, err := cs.Solve(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+		}
+	}
+	b.Run("imex", func(b *testing.B) { solve(b, solc.ModeCapacitive, "imex", 1e-3) })
+	b.Run("rk45-capacitive", func(b *testing.B) { solve(b, solc.ModeCapacitive, "rk45", 1e-6) })
+	b.Run("rk45-quasistatic", func(b *testing.B) { solve(b, solc.ModeQuasiStatic, "rk45", 1e-5) })
+}
+
+// BenchmarkAblationCapacitance sweeps the node capacitance (the DESIGN.md
+// substitution knob): equilibria are identical; convergence time varies.
+func BenchmarkAblationCapacitance(b *testing.B) {
+	for _, cap := range []float64{2e-3, 2e-2, 2e-1} {
+		b.Run(fmtF(cap), func(b *testing.B) {
+			p := circuit.Default()
+			p.C = cap
+			bc := boolcirc.New()
+			x, y := bc.NewSignal(), bc.NewSignal()
+			o := bc.And(x, y)
+			cs := solc.Compile(bc, map[boolcirc.Signal]bool{o: true}, p)
+			for i := 0; i < b.N; i++ {
+				opts := solc.DefaultOptions()
+				opts.Seed = int64(i + 1)
+				opts.TEnd = 100
+				if _, err := cs.Solve(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSmoothOrder sweeps the θ̃_r order used in the memristor
+// threshold gate.
+func BenchmarkAblationSmoothOrder(b *testing.B) {
+	for _, r := range []int{1, 2, 3} {
+		b.Run(fmtI(r), func(b *testing.B) {
+			p := circuit.Default()
+			p.Mem.Step = memristor.NewSmoothStep(r)
+			bc := boolcirc.New()
+			x, y := bc.NewSignal(), bc.NewSignal()
+			o := bc.And(x, y)
+			cs := solc.Compile(bc, map[boolcirc.Signal]bool{o: true}, p)
+			for i := 0; i < b.N; i++ {
+				opts := solc.DefaultOptions()
+				opts.Seed = int64(i + 1)
+				opts.TEnd = 100
+				if _, err := cs.Solve(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnsembleReport regenerates the Sec. VI-H ensemble statistic.
+func BenchmarkEnsembleReport(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 80
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Ensemble(cfg, 35, 2)
+	}
+}
+
+// ---- helpers ----
+
+func fmtF(v float64) string {
+	switch {
+	case v >= 0.1:
+		return "C=2e-1"
+	case v >= 0.01:
+		return "C=2e-2"
+	default:
+		return "C=2e-3"
+	}
+}
+
+func fmtI(r int) string { return map[int]string{1: "r=1", 2: "r=2", 3: "r=3"}[r] }
+
+// TestAblationNoVCDCGSpuriousZero verifies the Sec. V-D claim motivating
+// the VCDCG: without it, the SO-AND with output pinned to 0 admits the
+// spurious stable solution (v1, v2) = (0, 0) — started there, the circuit
+// stays there. With VCDCGs the same start escapes to ±vc.
+func TestAblationNoVCDCGSpuriousZero(t *testing.T) {
+	run := func(omit bool) (v1, v2 float64) {
+		p := circuit.Default()
+		p.OmitVCDCG = omit
+		p.TRise = 0.01 // pin the output almost immediately
+		b := circuit.NewBuilder(p)
+		n1, n2, no := b.Node(), b.Node(), b.Node()
+		b.AddGate(solg.AND, n1, n2, no)
+		b.PinBit(no, false)
+		c := b.Build()
+		// Start exactly at the spurious configuration: voltages 0,
+		// memristors at the weak boundary.
+		x := c.InitialState(rand.New(rand.NewSource(1)))
+		nv, nm, _ := c.Counts()
+		for f := 0; f < nv; f++ {
+			x[f] = 0
+		}
+		for m := 0; m < nm; m++ {
+			x[nv+m] = 1
+		}
+		st := circuit.NewIMEX(c, nil)
+		for k := 0; k < 30000; k++ {
+			if _, err := st.Step(c, float64(k)*1e-3, 1e-3, x); err != nil {
+				t.Fatal(err)
+			}
+			c.ClampState(x)
+		}
+		volts := c.NodeVoltages(30, x, nil)
+		return volts[n1], volts[n2]
+	}
+	v1, v2 := run(true)
+	if absF(v1) > 0.5 || absF(v2) > 0.5 {
+		t.Fatalf("without VCDCGs the (0,0) state should persist, got (%v, %v)", v1, v2)
+	}
+	v1, v2 = run(false)
+	if absF(absF(v1)-1) > 0.1 || absF(absF(v2)-1) > 0.1 {
+		t.Fatalf("with VCDCGs the (0,0) state should be destabilized to ±vc, got (%v, %v)", v1, v2)
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestVCDCGRemovesSpuriousZero is the paired positive control.
+func TestVCDCGRemovesSpuriousZero(t *testing.T) {
+	bc := boolcirc.New()
+	x, y := bc.NewSignal(), bc.NewSignal()
+	o := bc.And(x, y)
+	cs := solc.Compile(bc, map[boolcirc.Signal]bool{o: false}, circuit.Default())
+	opts := solc.DefaultOptions()
+	opts.TEnd = 100
+	res, err := cs.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("with VCDCGs the gate should organize: %s", res.Reason)
+	}
+	if res.Assignment[x] && res.Assignment[y] {
+		t.Fatal("AND out=0 with both inputs 1")
+	}
+}
+
+// TestRandomInitialStatesAlwaysDecodeSafely fuzzes the end-to-end pipeline
+// at a tiny horizon: whatever happens, Solve must return without error and
+// never report Solved with an unverified assignment.
+func TestRandomInitialStatesAlwaysDecodeSafely(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		bc := boolcirc.New()
+		x, y := bc.NewSignal(), bc.NewSignal()
+		o := bc.Xor(x, y)
+		cs := solc.Compile(bc, map[boolcirc.Signal]bool{o: rng.Intn(2) == 1}, circuit.Default())
+		opts := solc.DefaultOptions()
+		opts.Seed = rng.Int63()
+		opts.TEnd = 3
+		opts.MaxAttempts = 1
+		res, err := cs.Solve(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Solved && !cs.BC.Satisfied(res.Assignment) {
+			t.Fatal("Solved with unverified assignment")
+		}
+	}
+}

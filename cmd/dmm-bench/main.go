@@ -1,0 +1,127 @@
+// Command dmm-bench regenerates the paper's tables and figures (see the
+// experiment index in DESIGN.md) and prints them as text tables.
+//
+// Usage:
+//
+//	dmm-bench -exp all
+//	dmm-bench -exp fig12 -tend 150 -attempts 4
+//	dmm-bench -exp scaling-factor -bits 6,8 -seeds 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c)")
+	tEnd := flag.Float64("tend", 150, "per-attempt time horizon for dynamical experiments")
+	attempts := flag.Int("attempts", 4, "random restarts per instance")
+	seeds := flag.Int("seeds", 4, "ensemble size for scaling/ensemble experiments")
+	bitsFlag := flag.String("bits", "6,8", "bit widths for scaling-factor")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.TEnd = *tEnd
+	cfg.MaxAttempts = *attempts
+
+	var bits []int
+	for _, tok := range strings.Split(*bitsFlag, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmm-bench: bad bits %q\n", tok)
+			os.Exit(1)
+		}
+		bits = append(bits, b)
+	}
+
+	static := map[string]func() experiments.Report{
+		"info":    func() experiments.Report { return experiments.InformationOverhead([]int{6, 8, 10, 12}) },
+		"tableI":  experiments.TableI,
+		"tableII": experiments.TableII,
+		"fig4":    experiments.Fig4,
+		"fig7":    func() experiments.Report { return experiments.Fig7(41) },
+		"fig9":    func() experiments.Report { return experiments.Fig9(21) },
+		"fig10":   experiments.Fig10,
+		"fig11":   func() experiments.Report { return experiments.Fig11Topology(18) },
+		"fig14":   func() experiments.Report { return experiments.Fig14Topology(12, 9) },
+	}
+	dynamic := map[string]func() experiments.Report{
+		"fig8": func() experiments.Report { return experiments.Fig8Adder3(cfg, 9, 3) },
+		"fig12": func() experiments.Report {
+			return experiments.Fig12Factorization(cfg, []uint64{35, 49, 33})
+		},
+		"fig13": func() experiments.Report {
+			c := cfg
+			c.TEnd = 20
+			c.MaxAttempts = 1
+			return experiments.Fig13Prime(c, 47)
+		},
+		"fig15": func() experiments.Report {
+			return experiments.Fig15SubsetSum(cfg, []experiments.SubsetSumInstance{
+				{Values: []uint64{3, 5, 6}, Target: 8},
+				{Values: []uint64{2, 3, 7, 9}, Target: 12},
+			})
+		},
+		"scaling-factor": func() experiments.Report {
+			return experiments.ScalingFactorization(cfg, bits, *seeds)
+		},
+		"scaling-ssp": func() experiments.Report {
+			return experiments.ScalingSubsetSum(cfg, [][2]int{{3, 3}, {4, 3}, {4, 4}}, *seeds)
+		},
+		"ensemble": func() experiments.Report {
+			c := cfg
+			c.TEnd = 100
+			return experiments.Ensemble(c, 35, *seeds)
+		},
+		"baselines": func() experiments.Report {
+			return experiments.Baselines(cfg, []uint64{15, 21, 35})
+		},
+		"energy": func() experiments.Report {
+			return experiments.EnergyScaling(cfg, bits, *seeds)
+		},
+		"sat3": func() experiments.Report {
+			return experiments.Sat3(cfg, 6, 18, 3)
+		},
+		"diversity": func() experiments.Report {
+			c := cfg
+			c.TEnd = 100
+			return experiments.SolutionDiversity(c, *seeds*2)
+		},
+		"ablation-c": func() experiments.Report {
+			return experiments.AblationCapacitance([]float64{2e-3, 2e-2, 2e-1}, *seeds)
+		},
+	}
+
+	run := func(id string) bool {
+		if fn, ok := static[id]; ok {
+			fmt.Println(fn().Render())
+			return true
+		}
+		if fn, ok := dynamic[id]; ok {
+			fmt.Println(fn().Render())
+			return true
+		}
+		return false
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"tableI", "tableII", "fig4", "fig7", "fig9", "fig10",
+			"fig11", "fig14", "info", "fig8", "fig12", "fig13", "fig15",
+			"scaling-factor", "scaling-ssp", "ensemble", "baselines",
+			"energy", "sat3", "diversity", "ablation-c"} {
+			run(id)
+		}
+		return
+	}
+	if !run(*exp) {
+		fmt.Fprintf(os.Stderr, "dmm-bench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

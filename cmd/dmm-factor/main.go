@@ -1,0 +1,55 @@
+// Command dmm-factor factors an integer by running the paper's
+// factorization SOLC (Sec. VII-A) in solution mode.
+//
+// Usage:
+//
+//	dmm-factor -n 35 [-seed 1] [-tend 150] [-attempts 4] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	n := flag.Uint64("n", 35, "integer to factor (a semiprime fitting the word sizes)")
+	seed := flag.Int64("seed", 1, "initial-condition seed")
+	tEnd := flag.Float64("tend", 150, "per-attempt time horizon")
+	attempts := flag.Int("attempts", 4, "random restarts")
+	showTrace := flag.Bool("trace", false, "render factor-bit voltage trajectories")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TEnd = *tEnd
+	cfg.MaxAttempts = *attempts
+	if *showTrace {
+		np, nq := core.WordSizes(core.BitLen(*n))
+		cfg.TraceNodes = np + nq
+		cfg.TraceEvery = 100
+	}
+	fz := core.NewFactorizer(cfg)
+	res, err := fz.Factor(*n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmm-factor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("n=%d  circuit: %s\n", *n, res.Metrics)
+	if res.Solved {
+		fmt.Printf("self-organized: %d = %d × %d (t* = %.2f)\n",
+			*n, res.P, res.Q, res.Metrics.ConvergenceTime)
+	} else {
+		fmt.Printf("no equilibrium reached (%s) — expected when n is prime (Fig. 13)\n", res.Reason)
+	}
+	if rec, ok := res.Trace.(*trace.Recorder); ok && rec.Len() > 0 {
+		fmt.Println("\nfactor-bit trajectories (−vc..+vc):")
+		fmt.Print(rec.RenderASCII(72, -1.2, 1.2))
+	}
+	if !res.Solved {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,102 @@
+// Command dmm-sat solves a DIMACS CNF instance with a self-organizing
+// logic circuit (one OR tree per clause, every clause output pinned to
+// logic 1) and cross-checks the result against the DPLL baseline.
+//
+// Usage:
+//
+//	dmm-sat -f formula.cnf [-tend 150] [-attempts 4] [-seed 1]
+//	dmm-sat -random-vars 6 -random-clauses 18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+	"repro/internal/sat"
+	"repro/internal/solc"
+)
+
+func main() {
+	file := flag.String("f", "", "DIMACS CNF file (omit to generate a random 3-SAT instance)")
+	rv := flag.Int("random-vars", 6, "variables for the random instance")
+	rc := flag.Int("random-clauses", 18, "clauses for the random instance")
+	seed := flag.Int64("seed", 1, "initial-condition seed")
+	tEnd := flag.Float64("tend", 150, "per-attempt time horizon")
+	attempts := flag.Int("attempts", 4, "random restarts")
+	flag.Parse()
+
+	var f boolcirc.CNF
+	if *file != "" {
+		fh, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmm-sat:", err)
+			os.Exit(1)
+		}
+		f, err = boolcirc.ParseDIMACS(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmm-sat:", err)
+			os.Exit(1)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		f.NumVars = *rv
+		for c := 0; c < *rc; c++ {
+			seen := map[int]bool{}
+			var clause boolcirc.Clause
+			for len(clause) < 3 && len(clause) < *rv {
+				v := 1 + rng.Intn(*rv)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				l := boolcirc.Lit(v)
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				clause = append(clause, l)
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+	}
+	fmt.Printf("formula: %d variables, %d clauses\n", f.NumVars, len(f.Clauses))
+
+	dp := sat.DPLL(f, 0)
+	fmt.Printf("DPLL baseline: %v (%d decisions)\n", dp.Status, dp.Decisions)
+
+	opts := solc.DefaultOptions()
+	opts.Seed = *seed
+	opts.TEnd = *tEnd
+	opts.MaxAttempts = *attempts
+	res, err := solc.SolveCNF(f, circuit.Default(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmm-sat:", err)
+		os.Exit(1)
+	}
+	if res.Solved {
+		fmt.Printf("SOLC: SAT in t* = %.2f (attempts %d, wall %v)\nassignment:",
+			res.Result.T, res.Result.Attempts, res.Result.Wall)
+		for v, val := range res.Assignment {
+			lit := v + 1
+			if !val {
+				lit = -lit
+			}
+			fmt.Printf(" %d", lit)
+		}
+		fmt.Println()
+		if dp.Status == sat.Unsatisfiable {
+			fmt.Println("WARNING: SOLC claims SAT on a DPLL-UNSAT formula (verification bug)")
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("SOLC: no equilibrium found (%s)\n", res.Result.Reason)
+		if dp.Status == sat.Satisfiable {
+			fmt.Println("note: instance is satisfiable; increase -tend/-attempts")
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Polynomial-time
+// solution of prime factorization and NP-hard problems with digital
+// memcomputing machines" (Traversa & Di Ventra, 2016; condensed as
+// "Digital Memcomputing Machines", DATE 2016).
+//
+// The implementation lives under internal/: self-organizing logic gates
+// (solg), the circuit dynamics and integrators (circuit, ode, la), the
+// device models (memristor, device), the boolean-circuit substrate and
+// SAT/classical baselines (boolcirc, sat, classical), the abstract machine
+// formalism (dmm), the public solver facade (core) and the experiment
+// drivers regenerating every table and figure (experiments). See README.md
+// and DESIGN.md.
+package repro

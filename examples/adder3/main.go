@@ -1,0 +1,44 @@
+// Self-organizing 3-bit adder (paper Fig. 8): the sum word is imposed by
+// DC generators and the two addends self-organize to any pair consistent
+// with it — the adder literally runs backwards.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+	"repro/internal/solc"
+)
+
+func main() {
+	const target = 9 // 1001₂: e.g. 2+7, 3+6, 4+5, ...
+
+	bc := boolcirc.New()
+	a := bc.NewSignals(3)
+	b := bc.NewSignals(3)
+	sum := bc.RippleAdder(a, b) // 4 bits
+	pins := map[boolcirc.Signal]bool{}
+	for i, s := range sum {
+		pins[s] = target&(1<<uint(i)) != 0
+	}
+
+	cs := solc.Compile(bc, pins, circuit.Default())
+	fmt.Println("compiled:", cs.Eng)
+	for seed := int64(1); seed <= 3; seed++ {
+		opts := solc.DefaultOptions()
+		opts.Seed = seed
+		res, err := cs.Solve(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Solved {
+			fmt.Printf("seed %d: no equilibrium (%s)\n", seed, res.Reason)
+			continue
+		}
+		av := boolcirc.WordToUint(res.Assignment, a)
+		bv := boolcirc.WordToUint(res.Assignment, b)
+		fmt.Printf("seed %d: %d + %d = %d  (t*=%.1f)\n", seed, av, bv, av+bv, res.T)
+	}
+}

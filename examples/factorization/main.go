@@ -1,0 +1,51 @@
+// Factorization example: the paper's headline experiment (Sec. VII-A).
+// The SOLC multiplier is run in reverse: the product bits are imposed by
+// DC generators and the factor bits self-organize. A prime input is also
+// tried to show the Fig. 13 behaviour (no equilibrium exists).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.TraceNodes = 8
+	cfg.TraceEvery = 100
+
+	for _, n := range []uint64{35, 49} {
+		fz := core.NewFactorizer(cfg)
+		res, err := fz.Factor(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n=%d: ", n)
+		if res.Solved {
+			fmt.Printf("%d × %d  (t*=%.1f, %s)\n", res.P, res.Q,
+				res.Metrics.ConvergenceTime, res.Metrics)
+		} else {
+			fmt.Printf("no equilibrium (%s)\n", res.Reason)
+		}
+		if rec, ok := res.Trace.(*trace.Recorder); ok && rec.Len() > 0 {
+			fmt.Println("factor-bit voltages over time (−vc..+vc):")
+			fmt.Print(rec.RenderASCII(64, -1.2, 1.2))
+		}
+	}
+
+	// Fig. 13: a prime has no factorization equilibrium; keep the horizon
+	// short so the example terminates quickly.
+	cfg.TraceNodes = 0
+	cfg.TEnd = 15
+	cfg.MaxAttempts = 1
+	fz := core.NewFactorizer(cfg)
+	res, err := fz.Factor(47)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=47 (prime): solved=%v — %s (the machine keeps wandering, Fig. 13)\n",
+		res.Solved, res.Reason)
+}

@@ -1,0 +1,40 @@
+// Quickstart: build one self-organizing AND gate, pin its *output* to
+// logic 1, and watch it find inputs consistent with that output — the
+// terminal-agnostic operation that distinguishes SOLGs from ordinary
+// gates (paper Sec. V).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+	"repro/internal/solc"
+)
+
+func main() {
+	// 1. Describe the boolean system: one AND gate, output pinned to 1.
+	bc := boolcirc.New()
+	a, b := bc.NewSignal(), bc.NewSignal()
+	out := bc.And(a, b)
+	pins := map[boolcirc.Signal]bool{out: true}
+
+	// 2. Compile it onto a self-organizing logic circuit.
+	cs := solc.Compile(bc, pins, circuit.Default())
+	fmt.Println("compiled:", cs.Eng)
+
+	// 3. Integrate the circuit dynamics until it self-organizes.
+	opts := solc.DefaultOptions()
+	res, err := cs.Solve(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Solved {
+		log.Fatalf("did not converge: %s", res.Reason)
+	}
+
+	// 4. Read the inputs the gate chose. AND(out=1) forces both to 1.
+	fmt.Printf("self-organized in t* = %.2f: a=%v b=%v (a AND b = 1)\n",
+		res.T, res.Assignment[a], res.Assignment[b])
+}

@@ -1,0 +1,106 @@
+package boolcirc
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestToCNFGateConsistency(t *testing.T) {
+	// Property: for a random small circuit and random inputs, the
+	// evaluated assignment satisfies the Tseitin CNF, and corrupting any
+	// gate output falsifies it.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New()
+		ins := c.NewSignals(3)
+		c.MarkInput(ins...)
+		sigs := append([]Signal{}, ins...)
+		ops := []Op{And, Or, Xor, Nand, Nor, Xnor}
+		for g := 0; g < 5; g++ {
+			op := ops[r.Intn(len(ops))]
+			a := sigs[r.Intn(len(sigs))]
+			b := sigs[r.Intn(len(sigs))]
+			sigs = append(sigs, c.gate(op, a, b))
+		}
+		bits := []bool{r.Intn(2) == 1, r.Intn(2) == 1, r.Intn(2) == 1}
+		assign, err := c.Eval(bits)
+		if err != nil {
+			return false
+		}
+		cnf := c.ToCNF(nil)
+		if !cnf.Satisfied(assign) {
+			return false
+		}
+		// Corrupt one gate output.
+		g := c.Gates[r.Intn(len(c.Gates))]
+		assign[g.Out] = !assign[g.Out]
+		return !cnf.Satisfied(assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToCNFPinsAndConstants(t *testing.T) {
+	c := New()
+	a := c.NewSignal()
+	c.MarkInput(a)
+	k := c.Const(true)
+	o := c.And(a, k)
+	cnf := c.ToCNF(map[Signal]bool{o: true})
+	// Satisfying assignment: a=1, k=1, o=1.
+	if !cnf.Satisfied([]bool{true, true, true}) {
+		t.Fatal("valid assignment rejected")
+	}
+	// a=0 forces o=0, contradicting the pin.
+	if cnf.Satisfied([]bool{false, true, false}) {
+		t.Fatal("pin not enforced")
+	}
+	// constant k=0 must fail.
+	if cnf.Satisfied([]bool{true, false, false}) {
+		t.Fatal("constant not enforced")
+	}
+}
+
+func TestToCNFNot(t *testing.T) {
+	c := New()
+	a := c.NewSignal()
+	c.MarkInput(a)
+	o := c.Not(a)
+	cnf := c.ToCNF(nil)
+	if !cnf.Satisfied([]bool{true, false}) || !cnf.Satisfied([]bool{false, true}) {
+		t.Fatal("NOT consistency clauses wrong")
+	}
+	if cnf.Satisfied([]bool{true, true}) || cnf.Satisfied([]bool{false, false}) {
+		t.Fatal("NOT should reject equal values")
+	}
+	_ = o
+}
+
+func TestWriteDIMACS(t *testing.T) {
+	c := New()
+	a, b := c.NewSignal(), c.NewSignal()
+	c.MarkInput(a, b)
+	c.And(a, b)
+	cnf := c.ToCNF(nil)
+	var buf bytes.Buffer
+	if err := cnf.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "p cnf 3 3\n") {
+		t.Fatalf("bad DIMACS header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasSuffix(l, "0") {
+			t.Fatalf("clause line %q not 0-terminated", l)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/solg"
+)
+
+// Node identifies a circuit node (a set of electrically joined gate
+// terminals).
+type Node int
+
+// Builder accumulates gates, sources and nodes and produces a Circuit.
+type Builder struct {
+	params   Params
+	numNodes int
+	gates    []gateInst
+	pins     map[Node]device.RampSource
+	gateSets map[solg.Kind]*solg.Gate
+}
+
+type gateInst struct {
+	gate  *solg.Gate
+	nodes []Node // one per terminal (inputs..., output)
+}
+
+// NewBuilder returns an empty builder with the given parameters.
+func NewBuilder(p Params) *Builder {
+	return &Builder{
+		params:   p,
+		pins:     make(map[Node]device.RampSource),
+		gateSets: make(map[solg.Kind]*solg.Gate),
+	}
+}
+
+// Node allocates a fresh circuit node.
+func (b *Builder) Node() Node {
+	n := Node(b.numNodes)
+	b.numNodes++
+	return n
+}
+
+// Nodes allocates n fresh nodes.
+func (b *Builder) Nodes(n int) []Node {
+	out := make([]Node, n)
+	for i := range out {
+		out[i] = b.Node()
+	}
+	return out
+}
+
+// sharedGate returns the (immutable) parameter set for a gate kind,
+// constructing it once.
+func (b *Builder) sharedGate(k solg.Kind) *solg.Gate {
+	if g, ok := b.gateSets[k]; ok {
+		return g
+	}
+	g := solg.MustNew(k, b.params.Vc)
+	b.gateSets[k] = g
+	return g
+}
+
+// AddGate attaches a 3-terminal self-organizing gate between the nodes
+// (in1, in2, out).
+func (b *Builder) AddGate(k solg.Kind, in1, in2, out Node) {
+	if k.Terminals() != 3 {
+		panic(fmt.Sprintf("circuit: AddGate with %v (use AddNot)", k))
+	}
+	b.checkNodes(in1, in2, out)
+	b.gates = append(b.gates, gateInst{gate: b.sharedGate(k), nodes: []Node{in1, in2, out}})
+}
+
+// AddNot attaches a self-organizing NOT gate between in and out.
+func (b *Builder) AddNot(in, out Node) {
+	b.checkNodes(in, out)
+	b.gates = append(b.gates, gateInst{gate: b.sharedGate(solg.NOT), nodes: []Node{in, out}})
+}
+
+// PinBit connects a ramped DC generator imposing the logic value bit on
+// the node (the control unit's input injection, Sec. III-C solution mode).
+// A pinned node carries no VCDCG and is not a state variable.
+func (b *Builder) PinBit(n Node, bit bool) {
+	v := -b.params.Vc
+	if bit {
+		v = b.params.Vc
+	}
+	b.pins[n] = device.RampSource{Target: v, TRise: b.params.TRise}
+}
+
+// PinVoltage pins a node to an arbitrary target voltage.
+func (b *Builder) PinVoltage(n Node, v float64) {
+	b.pins[n] = device.RampSource{Target: v, TRise: b.params.TRise}
+}
+
+func (b *Builder) checkNodes(nodes ...Node) {
+	for _, n := range nodes {
+		if int(n) < 0 || int(n) >= b.numNodes {
+			panic(fmt.Sprintf("circuit: node %d not allocated", n))
+		}
+	}
+}
+
+// NumGates returns the number of gates added so far.
+func (b *Builder) NumGates() int { return len(b.gates) }
+
+// NumNodes returns the number of allocated nodes.
+func (b *Builder) NumNodes() int { return b.numNodes }

@@ -1,0 +1,279 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/device"
+	"repro/internal/la"
+	"repro/internal/memristor"
+)
+
+// Circuit is a compiled self-organizing logic circuit exposing the global
+// ODE ẋ = F(t, x) with state layout
+//
+//	[ v (free-node voltages) | x (memristor states) | i (VCDCG currents) | s (VCDCG bistables) ] .
+type Circuit struct {
+	Params Params
+
+	numNodes int
+	gates    []gateInst
+	pins     []pin
+	pinned   []bool // per node
+	freeIdx  []int  // node -> free-voltage state index, -1 when pinned
+
+	branches []branchRef
+	dcgNodes []int // VCDCG k -> node
+
+	nv, nm, nd int // free nodes, memristors, VCDCGs
+
+	// scratch buffers (Derivative is called on one goroutine at a time).
+	nodeV la.Vector
+	curr  la.Vector
+}
+
+type pin struct {
+	node int
+	src  device.RampSource
+}
+
+type branchRef struct {
+	gi     int // gate instance
+	node   int // terminal node
+	vcvg   device.VCVG
+	sigma  float64
+	mem    bool
+	memIdx int // index into x block, -1 for resistor branches
+}
+
+// Build compiles the builder's contents. Every non-pinned node receives a
+// VCDCG (Sec. V-D: "at each terminal but the ones at which we send the
+// inputs, we connect a VCDCG").
+func (b *Builder) Build() *Circuit {
+	c := &Circuit{
+		Params:   b.params,
+		numNodes: b.numNodes,
+		gates:    b.gates,
+		pinned:   make([]bool, b.numNodes),
+		freeIdx:  make([]int, b.numNodes),
+	}
+	for n, src := range b.pins {
+		c.pins = append(c.pins, pin{node: int(n), src: src})
+		c.pinned[n] = true
+	}
+	// Deterministic pin order (map iteration is random).
+	for i := 1; i < len(c.pins); i++ {
+		for j := i; j > 0 && c.pins[j-1].node > c.pins[j].node; j-- {
+			c.pins[j-1], c.pins[j] = c.pins[j], c.pins[j-1]
+		}
+	}
+	for n := 0; n < b.numNodes; n++ {
+		if c.pinned[n] {
+			c.freeIdx[n] = -1
+			continue
+		}
+		c.freeIdx[n] = c.nv
+		c.nv++
+		if !b.params.OmitVCDCG {
+			c.dcgNodes = append(c.dcgNodes, n)
+		}
+	}
+	c.nd = len(c.dcgNodes)
+	for gi, inst := range b.gates {
+		for t, node := range inst.nodes {
+			for _, br := range inst.gate.DCMs[t].Branches {
+				ref := branchRef{
+					gi:    gi,
+					node:  int(node),
+					vcvg:  br.L,
+					sigma: br.Sigma,
+					mem:   br.Mem,
+				}
+				if br.Mem {
+					ref.memIdx = c.nm
+					c.nm++
+				} else {
+					ref.memIdx = -1
+				}
+				c.branches = append(c.branches, ref)
+			}
+		}
+	}
+	c.nodeV = la.NewVector(c.numNodes)
+	c.curr = la.NewVector(c.numNodes)
+	return c
+}
+
+// Dim returns the ODE state dimension.
+func (c *Circuit) Dim() int { return c.nv + c.nm + 2*c.nd }
+
+// Counts reports the component totals (free nodes, memristors, VCDCGs).
+func (c *Circuit) Counts() (freeNodes, memristors, vcdcgs int) {
+	return c.nv, c.nm, c.nd
+}
+
+// NumGates returns the number of self-organizing gates.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// State block offsets.
+func (c *Circuit) vOff() int { return 0 }
+func (c *Circuit) xOff() int { return c.nv }
+func (c *Circuit) iOff() int { return c.nv + c.nm }
+func (c *Circuit) sOff() int { return c.nv + c.nm + c.nd }
+
+// terminalVoltages fills the (v1, v2, vo) slots of gate instance gi from
+// the node voltage vector; the unused v2 slot of a NOT gate reads 0.
+func (c *Circuit) terminalVoltages(gi int, nodeV la.Vector) (v1, v2, vo float64) {
+	inst := c.gates[gi]
+	if len(inst.nodes) == 2 {
+		return nodeV[inst.nodes[0]], 0, nodeV[inst.nodes[1]]
+	}
+	return nodeV[inst.nodes[0]], nodeV[inst.nodes[1]], nodeV[inst.nodes[2]]
+}
+
+// NodeVoltages evaluates all node voltages at time t for state x, writing
+// into dst (length numNodes) and returning it. dst may be nil.
+func (c *Circuit) NodeVoltages(t float64, x la.Vector, dst la.Vector) la.Vector {
+	if dst == nil {
+		dst = la.NewVector(c.numNodes)
+	}
+	for n := 0; n < c.numNodes; n++ {
+		if fi := c.freeIdx[n]; fi >= 0 {
+			dst[n] = x[c.vOff()+fi]
+		}
+	}
+	for _, p := range c.pins {
+		dst[p.node] = p.src.V(t)
+	}
+	return dst
+}
+
+// Derivative implements ode.System.
+func (c *Circuit) Derivative(t float64, x, dxdt la.Vector) {
+	p := &c.Params
+	nodeV := c.NodeVoltages(t, x, c.nodeV)
+	curr := c.curr
+	curr.Zero()
+
+	xOff, iOff, sOff := c.xOff(), c.iOff(), c.sOff()
+
+	// DCM branches: currents into nodes plus memristor state equations.
+	for bi := range c.branches {
+		br := &c.branches[bi]
+		v1, v2, vo := c.terminalVoltages(br.gi, nodeV)
+		l := br.vcvg.Eval(v1, v2, vo)
+		d := nodeV[br.node] - l
+		if br.mem {
+			xi := memristor.Clamp(x[xOff+br.memIdx])
+			g := p.Mem.G(xi)
+			curr[br.node] += g * d
+			dxdt[xOff+br.memIdx] = p.Mem.DxDt(xi, br.sigma*d)
+		} else {
+			curr[br.node] += d / p.R
+		}
+	}
+
+	// VCDCGs: current balance plus (i, s) dynamics. The f_s offset couples
+	// every generator through the global current-window products (Eq. 47).
+	offset := p.DCG.FsOffset(x[iOff : iOff+c.nd])
+	for k, node := range c.dcgNodes {
+		i := x[iOff+k]
+		s := x[sOff+k]
+		curr[node] += i
+		dxdt[iOff+k] = p.DCG.DiDt(nodeV[node], i, s)
+		dxdt[sOff+k] = p.DCG.Fs(s, offset)
+	}
+
+	// Node voltages: C dv/dt = -(net out-current).
+	for n := 0; n < c.numNodes; n++ {
+		if fi := c.freeIdx[n]; fi >= 0 {
+			dxdt[c.vOff()+fi] = -curr[n] / p.C
+		}
+	}
+}
+
+// ClampState enforces the invariant regions of Props. VI.2 and VI.5 after
+// an integration step: memristor states to [0,1] and VCDCG currents to
+// [-imax·(1+ε), imax·(1+ε)] (the dynamics keep them there up to one step of
+// overshoot).
+func (c *Circuit) ClampState(x la.Vector) {
+	xOff, iOff := c.xOff(), c.iOff()
+	for m := 0; m < c.nm; m++ {
+		x[xOff+m] = memristor.Clamp(x[xOff+m])
+	}
+	iBound := c.Params.DCG.IMax * 1.5
+	for k := 0; k < c.nd; k++ {
+		if v := x[iOff+k]; v > iBound {
+			x[iOff+k] = iBound
+		} else if v < -iBound {
+			x[iOff+k] = -iBound
+		}
+	}
+}
+
+// InitialState returns a start state per Sec. VII: memristor states
+// uniform-random in [0,1], node voltages at small random values, VCDCG
+// currents zero, bistables in the drive region (s = 1).
+func (c *Circuit) InitialState(rng *rand.Rand) la.Vector {
+	x := la.NewVector(c.Dim())
+	for f := 0; f < c.nv; f++ {
+		x[c.vOff()+f] = 0.02 * c.Params.Vc * (2*rng.Float64() - 1)
+	}
+	for m := 0; m < c.nm; m++ {
+		x[c.xOff()+m] = rng.Float64()
+	}
+	for k := 0; k < c.nd; k++ {
+		x[c.sOff()+k] = 1
+	}
+	return x
+}
+
+// NodeBit decodes a node voltage into a logic value (v > 0 ↔ 1).
+func (c *Circuit) NodeBit(t float64, x la.Vector, n Node) bool {
+	return c.NodeVoltages(t, x, c.nodeV)[n] > 0
+}
+
+// GatesSatisfied reports whether every gate's decoded terminal bits
+// satisfy its boolean relation.
+func (c *Circuit) GatesSatisfied(t float64, x la.Vector) bool {
+	return c.gatesSatisfiedAt(c.NodeVoltages(t, x, c.nodeV))
+}
+
+// gatesSatisfiedAt checks every gate relation against decoded node
+// voltages.
+func (c *Circuit) gatesSatisfiedAt(nodeV la.Vector) bool {
+	var in [2]bool
+	for _, inst := range c.gates {
+		nt := len(inst.nodes)
+		for j := 0; j < nt-1; j++ {
+			in[j] = nodeV[inst.nodes[j]] > 0
+		}
+		if inst.gate.Kind.Eval(in[:nt-1]...) != (nodeV[inst.nodes[nt-1]] > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Converged reports whether the state is a decoded logic equilibrium:
+// every node voltage within tol·vc of ±vc and every gate satisfied.
+func (c *Circuit) Converged(t float64, x la.Vector, tol float64) bool {
+	nodeV := c.NodeVoltages(t, x, c.nodeV)
+	vc := c.Params.Vc
+	for n := 0; n < c.numNodes; n++ {
+		d := nodeV[n]
+		if d < 0 {
+			d = -d
+		}
+		if d < (1-tol)*vc || d > (1+tol)*vc {
+			return false
+		}
+	}
+	return c.GatesSatisfied(t, x)
+}
+
+// String summarizes the circuit.
+func (c *Circuit) String() string {
+	return fmt.Sprintf("SOLC{nodes=%d gates=%d mem=%d vcdcg=%d pinned=%d dim=%d}",
+		c.numNodes, len(c.gates), c.nm, c.nd, len(c.pins), c.Dim())
+}

@@ -1,0 +1,34 @@
+package circuit
+
+import (
+	"math/rand"
+
+	"repro/internal/la"
+)
+
+// Engine is the common surface of the two dynamical forms of a compiled
+// SOLC: the capacitive form (*Circuit, node voltages as states) and the
+// order-reduced quasi-static form (*QuasiStatic). Both satisfy ode.System.
+type Engine interface {
+	Dim() int
+	Derivative(t float64, x, dxdt la.Vector)
+	InitialState(rng *rand.Rand) la.Vector
+	ClampState(x la.Vector)
+	NodeVoltages(t float64, x, dst la.Vector) la.Vector
+	GatesSatisfied(t float64, x la.Vector) bool
+	Converged(t float64, x la.Vector, tol float64) bool
+	Parameters() Params
+	NumGates() int
+	Counts() (freeNodes, memristors, vcdcgs int)
+}
+
+// Parameters returns the electrical parameters (Engine interface).
+func (c *Circuit) Parameters() Params { return c.Params }
+
+// Parameters returns the electrical parameters (Engine interface).
+func (q *QuasiStatic) Parameters() Params { return q.C.Params }
+
+var (
+	_ Engine = (*Circuit)(nil)
+	_ Engine = (*QuasiStatic)(nil)
+)

@@ -1,0 +1,277 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/la"
+	"repro/internal/memristor"
+)
+
+// QuasiStatic is the order-reduced form of the SOLC dynamics: the node
+// voltages are eliminated algebraically (the C → 0 limit of the parasitic
+// capacitance, matching the paper's Table II value C = 1e-9 and its
+// modified-nodal-analysis order reduction, Sec. VI-A) and the ODE state is
+// only
+//
+//	[ x (memristor states) | i (VCDCG currents) | s (VCDCG bistables) ] .
+//
+// At every right-hand-side evaluation the linear Kirchhoff system
+// A(x)·v = b(x, i, t) is solved for the free-node voltages; A depends only
+// on the memristor conductances, so its LU factorization is cached and
+// refreshed when any conductance drifts beyond a relative threshold.
+type QuasiStatic struct {
+	C *Circuit
+
+	// gLeak is a tiny node-to-ground conductance guaranteeing A is
+	// nonsingular for any memristor state.
+	gLeak float64
+
+	// RefactorTol is the relative conductance drift above which the cached
+	// LU factorization is refreshed. Zero means refactor on every
+	// evaluation: exact voltages, no derivative discontinuities (the
+	// adaptive error estimator otherwise rejects steps across cache
+	// boundaries). Nonzero values trade accuracy for speed on large
+	// circuits.
+	RefactorTol float64
+
+	// factorization cache
+	lu      *la.LU
+	gCache  la.Vector // conductance per memristor branch at factorization
+	gNow    la.Vector
+	aMat    *la.Dense
+	rhs     la.Vector
+	nodeV   la.Vector
+	haveLU  bool
+	Refacts int // factorization count (observability)
+}
+
+// BuildQS compiles the builder's contents into the quasi-static engine.
+func (b *Builder) BuildQS() *QuasiStatic {
+	c := b.Build()
+	q := &QuasiStatic{
+		C:      c,
+		gLeak:  1e-9,
+		gCache: la.NewVector(c.nm),
+		gNow:   la.NewVector(c.nm),
+		aMat:   la.NewDense(c.nv, c.nv),
+		rhs:    la.NewVector(c.nv),
+		nodeV:  la.NewVector(c.numNodes),
+	}
+	return q
+}
+
+// Dim returns the reduced state dimension.
+func (q *QuasiStatic) Dim() int { return q.C.nm + 2*q.C.nd }
+
+// NumGates returns the gate count.
+func (q *QuasiStatic) NumGates() int { return q.C.NumGates() }
+
+// Counts reports (free nodes, memristors, VCDCGs).
+func (q *QuasiStatic) Counts() (int, int, int) { return q.C.Counts() }
+
+// Reduced-state block offsets.
+func (q *QuasiStatic) xOff() int { return 0 }
+func (q *QuasiStatic) iOff() int { return q.C.nm }
+func (q *QuasiStatic) sOff() int { return q.C.nm + q.C.nd }
+
+// solveVoltages computes the free-node voltages for the given reduced
+// state, writing the full node-voltage vector into q.nodeV.
+func (q *QuasiStatic) solveVoltages(t float64, x la.Vector) error {
+	c := q.C
+	p := &c.Params
+	// Current conductances.
+	for bi := range c.branches {
+		br := &c.branches[bi]
+		if !br.mem {
+			continue
+		}
+		q.gNow[br.memIdx] = p.Mem.G(memristor.Clamp(x[q.xOff()+br.memIdx]))
+	}
+	// Decide whether the cached factorization is still valid.
+	refactor := !q.haveLU || q.RefactorTol <= 0
+	if !refactor {
+		for m := 0; m < c.nm; m++ {
+			if math.Abs(q.gNow[m]-q.gCache[m]) > q.RefactorTol*q.gCache[m] {
+				refactor = true
+				break
+			}
+		}
+	}
+	// Pinned node voltages at time t.
+	for n := 0; n < c.numNodes; n++ {
+		q.nodeV[n] = 0
+	}
+	for _, pn := range c.pins {
+		q.nodeV[pn.node] = pn.src.V(t)
+	}
+	// Assemble the right-hand side (and the matrix when refactoring).
+	if refactor {
+		q.aMat.Zero()
+		for f := 0; f < c.nv; f++ {
+			q.aMat.Set(f, f, q.gLeak)
+		}
+	}
+	q.rhs.Zero()
+	for bi := range c.branches {
+		br := &c.branches[bi]
+		fi := c.freeIdx[br.node]
+		if fi < 0 {
+			continue // pinned terminal: its KCL row is absorbed by the source
+		}
+		var g float64
+		if br.mem {
+			g = q.gNow[br.memIdx]
+		} else {
+			g = 1 / p.R
+		}
+		if refactor {
+			q.aMat.Addf(fi, fi, g)
+		}
+		// Branch current g·(v_n - L), with L = a1·v1 + a2·v2 + ao·vo + dc
+		// over the gate's terminal slots.
+		inst := c.gates[br.gi]
+		coeffs := [3]float64{br.vcvg.A1, br.vcvg.A2, br.vcvg.Ao}
+		slots := [3]int{-1, -1, -1}
+		if len(inst.nodes) == 2 {
+			slots[0] = int(inst.nodes[0])
+			slots[2] = int(inst.nodes[1])
+		} else {
+			for k := 0; k < 3; k++ {
+				slots[k] = int(inst.nodes[k])
+			}
+		}
+		for k := 0; k < 3; k++ {
+			coefK := coeffs[k]
+			if coefK == 0 || slots[k] < 0 {
+				continue
+			}
+			if sf := c.freeIdx[slots[k]]; sf >= 0 {
+				if refactor {
+					q.aMat.Addf(fi, sf, -g*coefK)
+				}
+			} else {
+				q.rhs[fi] += g * coefK * q.nodeV[slots[k]]
+			}
+		}
+		q.rhs[fi] += g * br.vcvg.DC
+	}
+	// VCDCG currents leave their nodes.
+	for k, node := range c.dcgNodes {
+		if fi := c.freeIdx[node]; fi >= 0 {
+			q.rhs[fi] -= x[q.iOff()+k]
+		}
+	}
+	if refactor {
+		lu, err := la.Factorize(q.aMat)
+		if err != nil {
+			return fmt.Errorf("circuit: quasi-static KCL system singular: %w", err)
+		}
+		q.lu = lu
+		q.gCache.CopyFrom(q.gNow)
+		q.haveLU = true
+		q.Refacts++
+	}
+	v := q.lu.Solve(q.rhs)
+	for n := 0; n < c.numNodes; n++ {
+		if fi := c.freeIdx[n]; fi >= 0 {
+			q.nodeV[n] = v[fi]
+		}
+	}
+	return nil
+}
+
+// Derivative implements ode.System for the reduced state.
+func (q *QuasiStatic) Derivative(t float64, x, dxdt la.Vector) {
+	c := q.C
+	p := &c.Params
+	if err := q.solveVoltages(t, x); err != nil {
+		// Poison the derivative so the driver rejects the step.
+		dxdt.Fill(math.NaN())
+		return
+	}
+	nodeV := q.nodeV
+	for bi := range c.branches {
+		br := &c.branches[bi]
+		if !br.mem {
+			continue
+		}
+		v1, v2, vo := c.terminalVoltages(br.gi, nodeV)
+		d := nodeV[br.node] - br.vcvg.Eval(v1, v2, vo)
+		xi := memristor.Clamp(x[q.xOff()+br.memIdx])
+		dxdt[q.xOff()+br.memIdx] = p.Mem.DxDt(xi, br.sigma*d)
+	}
+	offset := p.DCG.FsOffset(x[q.iOff() : q.iOff()+c.nd])
+	for k, node := range c.dcgNodes {
+		i := x[q.iOff()+k]
+		s := x[q.sOff()+k]
+		dxdt[q.iOff()+k] = p.DCG.DiDt(nodeV[node], i, s)
+		dxdt[q.sOff()+k] = p.DCG.Fs(s, offset)
+	}
+}
+
+// NodeVoltages solves for and returns the node voltages at (t, x). dst may
+// be nil.
+func (q *QuasiStatic) NodeVoltages(t float64, x la.Vector, dst la.Vector) la.Vector {
+	if dst == nil {
+		dst = la.NewVector(q.C.numNodes)
+	}
+	if err := q.solveVoltages(t, x); err != nil {
+		dst.Fill(math.NaN())
+		return dst
+	}
+	dst.CopyFrom(q.nodeV)
+	return dst
+}
+
+// ClampState enforces the invariant regions on the reduced state.
+func (q *QuasiStatic) ClampState(x la.Vector) {
+	for m := 0; m < q.C.nm; m++ {
+		x[q.xOff()+m] = memristor.Clamp(x[q.xOff()+m])
+	}
+	iBound := q.C.Params.DCG.IMax * 1.5
+	for k := 0; k < q.C.nd; k++ {
+		if v := x[q.iOff()+k]; v > iBound {
+			x[q.iOff()+k] = iBound
+		} else if v < -iBound {
+			x[q.iOff()+k] = -iBound
+		}
+	}
+}
+
+// InitialState mirrors Circuit.InitialState for the reduced state.
+func (q *QuasiStatic) InitialState(rng *rand.Rand) la.Vector {
+	x := la.NewVector(q.Dim())
+	for m := 0; m < q.C.nm; m++ {
+		x[q.xOff()+m] = rng.Float64()
+	}
+	for k := 0; k < q.C.nd; k++ {
+		x[q.sOff()+k] = 1
+	}
+	return x
+}
+
+// GatesSatisfied decodes node voltages and checks every gate relation.
+func (q *QuasiStatic) GatesSatisfied(t float64, x la.Vector) bool {
+	nodeV := q.NodeVoltages(t, x, nil)
+	return q.C.gatesSatisfiedAt(nodeV)
+}
+
+// Converged reports whether the state is a decoded logic equilibrium.
+func (q *QuasiStatic) Converged(t float64, x la.Vector, tol float64) bool {
+	nodeV := q.NodeVoltages(t, x, nil)
+	vc := q.C.Params.Vc
+	for n := 0; n < q.C.numNodes; n++ {
+		d := math.Abs(nodeV[n])
+		if d < (1-tol)*vc || d > (1+tol)*vc {
+			return false
+		}
+	}
+	return q.C.gatesSatisfiedAt(nodeV)
+}
+
+// String summarizes the engine.
+func (q *QuasiStatic) String() string {
+	return fmt.Sprintf("QS-%s", q.C.String())
+}

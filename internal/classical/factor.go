@@ -1,0 +1,142 @@
+// Package classical implements the conventional (direct-protocol)
+// baselines the paper's inverse protocol is compared against: classical
+// factorization algorithms and the standard subset-sum algorithms whose
+// exponential scaling in n or p motivates Sec. VII.
+package classical
+
+import "math/bits"
+
+// TrialDivision returns the smallest prime factor of n (n for primes,
+// 0 for n < 2). Its worst-case work is Θ(√n) = Θ(2^(bits/2)), the
+// exponential direct-protocol cost the factorization SOLC is measured
+// against.
+func TrialDivision(n uint64) uint64 {
+	if n < 2 {
+		return 0
+	}
+	if n%2 == 0 {
+		return 2
+	}
+	for d := uint64(3); d*d <= n; d += 2 {
+		if n%d == 0 {
+			return d
+		}
+	}
+	return n
+}
+
+// IsPrime reports primality via deterministic Miller-Rabin for 64-bit
+// inputs.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	// These witnesses are deterministic for all 64-bit integers.
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powMod(a%n, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// PollardRho returns a nontrivial factor of composite n (or n when n is
+// prime / the method fails after its cycle budget). Expected work
+// O(n^(1/4)).
+func PollardRho(n uint64) uint64 {
+	if n < 2 {
+		return 0
+	}
+	if n%2 == 0 {
+		return 2
+	}
+	if IsPrime(n) {
+		return n
+	}
+	for c := uint64(1); c < 64; c++ {
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		f := func(v uint64) uint64 { return (mulMod(v, v, n) + c) % n }
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := x - y
+			if x < y {
+				diff = y - x
+			}
+			if diff == 0 {
+				break
+			}
+			d = gcd(diff, n)
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+	return n
+}
+
+// FactorSemiprime splits n = p·q with p ≤ q (p = 1 when n is prime); the
+// reference answer for the factorization experiments.
+func FactorSemiprime(n uint64) (p, q uint64) {
+	if IsPrime(n) {
+		return 1, n
+	}
+	d := PollardRho(n)
+	if d == n || d == 0 {
+		d = TrialDivision(n)
+	}
+	p, q = d, n/d
+	if p > q {
+		p, q = q, p
+	}
+	return p, q
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+func powMod(b, e, m uint64) uint64 {
+	r := uint64(1)
+	b %= m
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod(r, b, m)
+		}
+		b = mulMod(b, b, m)
+		e >>= 1
+	}
+	return r
+}

@@ -1,0 +1,136 @@
+// Package core is the public facade of the digital-memcomputing
+// reproduction: it builds the paper's two benchmark machines — the prime
+// factorization SOLC (Sec. VII-A, Fig. 11) and the subset-sum SOLC
+// (Sec. VII-B, Fig. 14) — and runs them in solution mode, returning
+// decoded and independently verified answers together with the dynamical
+// metrics the evaluation section reports.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/la"
+	"repro/internal/solc"
+	"repro/internal/trace"
+)
+
+// Config selects electrical parameters and solver settings.
+type Config struct {
+	// Params are the circuit parameters (circuit.Default() if zero).
+	Params circuit.Params
+	// TEnd is the per-attempt integration horizon.
+	TEnd float64
+	// MaxAttempts bounds the random restarts per problem.
+	MaxAttempts int
+	// Seed seeds initial conditions.
+	Seed int64
+	// StepH is the IMEX step size.
+	StepH float64
+	// Stepper overrides the integration method (default "imex").
+	Stepper string
+	// Mode selects the dynamical form (default capacitive, required by
+	// imex).
+	Mode solc.Mode
+	// TraceNodes, when positive, records that many node-voltage
+	// trajectories (the first k signal nodes) into Result.Trace,
+	// downsampled by TraceEvery.
+	TraceNodes int
+	TraceEvery int
+}
+
+// DefaultConfig returns settings that solve the paper's small instances
+// in seconds on commodity hardware.
+func DefaultConfig() Config {
+	return Config{
+		Params:      circuit.Default(),
+		TEnd:        150,
+		MaxAttempts: 4,
+		Seed:        1,
+		StepH:       1e-3,
+		Stepper:     "imex",
+		Mode:        solc.ModeCapacitive,
+		TraceEvery:  50,
+	}
+}
+
+// PaperConfig returns the Table II parameter set (see DESIGN.md for why
+// the defaults differ).
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.Params = circuit.Paper()
+	return c
+}
+
+// Metrics reports the dynamical cost of a run.
+type Metrics struct {
+	// Gates, Memristors, VCDCGs, StateDim describe the SOLC size (the
+	// paper's space resources).
+	Gates, Memristors, VCDCGs, StateDim int
+	// ConvergenceTime is the dynamical time at which the machine
+	// self-organized (the paper's time resource).
+	ConvergenceTime float64
+	// Energy is the dissipated energy ∫Σ g·d² dt (the paper's Sec. VI-I
+	// energy resource; IMEX runs only).
+	Energy float64
+	// Attempts and Steps count restarts and integration steps.
+	Attempts, Steps int
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("gates=%d mem=%d vcdcg=%d dim=%d t*=%.2f attempts=%d steps=%d wall=%v",
+		m.Gates, m.Memristors, m.VCDCGs, m.StateDim, m.ConvergenceTime, m.Attempts, m.Steps, m.Wall)
+}
+
+// fill populates size metrics from a compiled SOLC.
+func (m *Metrics) fill(cs *solc.Compiled) {
+	_, nm, nd := cs.Eng.Counts()
+	m.Gates = cs.Eng.NumGates()
+	m.Memristors = nm
+	m.VCDCGs = nd
+	m.StateDim = cs.Eng.Dim()
+}
+
+// solveCompiled runs the common solution-mode loop with optional tracing.
+func solveCompiled(cs *solc.Compiled, cfg Config) (solc.Result, *trace.Recorder, error) {
+	opts := solc.DefaultOptions()
+	opts.TEnd = cfg.TEnd
+	if cfg.MaxAttempts > 0 {
+		opts.MaxAttempts = cfg.MaxAttempts
+	}
+	opts.Seed = cfg.Seed
+	if cfg.StepH > 0 {
+		opts.H = cfg.StepH
+	}
+	if cfg.Stepper != "" {
+		opts.Stepper = cfg.Stepper
+	}
+	var rec *trace.Recorder
+	if cfg.TraceNodes > 0 {
+		k := cfg.TraceNodes
+		if k > len(cs.NodeOf) {
+			k = len(cs.NodeOf)
+		}
+		labels := make([]string, k)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("v%d", i)
+		}
+		every := cfg.TraceEvery
+		if every < 1 {
+			every = 1
+		}
+		rec = trace.NewRecorder(labels, every)
+		vals := make([]float64, k)
+		opts.Observe = func(t float64, nodeV la.Vector) {
+			for i := 0; i < k; i++ {
+				vals[i] = nodeV[cs.NodeOf[i]]
+			}
+			rec.Append(t, vals)
+		}
+	}
+	res, err := cs.Solve(opts)
+	return res, rec, err
+}

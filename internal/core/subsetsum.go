@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/boolcirc"
+	"repro/internal/solc"
+)
+
+// SubsetSum builds and runs the subset-sum SOLC of Sec. VII-B (Fig. 14):
+// selector bits c_j gate the constant words q_j into an accumulation
+// network whose sum word is pinned to the target s, and the circuit
+// self-organizes into a satisfying selection.
+type SubsetSum struct {
+	cfg Config
+}
+
+// NewSubsetSum returns a solver with the given configuration.
+func NewSubsetSum(cfg Config) *SubsetSum {
+	if cfg.TEnd == 0 {
+		cfg = DefaultConfig()
+	}
+	return &SubsetSum{cfg: cfg}
+}
+
+// SubsetSumResult is the outcome of a subset-sum run.
+type SubsetSumResult struct {
+	Values []uint64
+	Target uint64
+	// Solved reports whether a verified selection was found; Mask has bit
+	// j set when values[j] is selected.
+	Solved  bool
+	Mask    uint64
+	Reason  string
+	Metrics Metrics
+	Trace   interface{ Len() int }
+}
+
+// BuildSubsetSumCircuit constructs the Fig. 14 network for the instance:
+// the masked accumulation circuit plus the pin map imposing the target on
+// the sum word (padded with zeros to the full width, Sec. VII-B).
+func BuildSubsetSumCircuit(values []uint64, precision int, target uint64) (bc *boolcirc.Circuit, selectors []boolcirc.Signal, pins map[boolcirc.Signal]bool) {
+	bc = boolcirc.New()
+	selectors, sum := bc.SubsetSumNetwork(values, precision)
+	pins = make(map[boolcirc.Signal]bool, len(sum))
+	for i, s := range sum {
+		pins[s] = target&(1<<uint(i)) != 0
+	}
+	return bc, selectors, pins
+}
+
+// Precision returns the minimum bit width holding every value.
+func Precision(values []uint64) int {
+	p := 1
+	for _, v := range values {
+		if l := BitLen(v); l > p {
+			p = l
+		}
+	}
+	return p
+}
+
+// Solve runs the SOLC in solution mode on the instance (positive values,
+// as in the paper; the non-empty-subset NP-hard version).
+func (ss *SubsetSum) Solve(values []uint64, target uint64) (SubsetSumResult, error) {
+	if len(values) == 0 {
+		return SubsetSumResult{}, fmt.Errorf("core: empty subset-sum instance")
+	}
+	if len(values) > 63 {
+		return SubsetSumResult{}, fmt.Errorf("core: at most 63 values supported")
+	}
+	if target == 0 {
+		// The paper's NP-hard version asks for a non-empty subset; with
+		// positive values no non-empty subset sums to zero.
+		return SubsetSumResult{}, fmt.Errorf("core: target must be positive (non-empty subset of positive values)")
+	}
+	for _, v := range values {
+		if v == 0 {
+			return SubsetSumResult{}, fmt.Errorf("core: values must be positive")
+		}
+	}
+	p := Precision(values)
+	bc, selectors, pins := BuildSubsetSumCircuit(values, p, target)
+	cs := solc.CompileMode(bc, pins, ss.cfg.Params, ss.cfg.Mode)
+	out := SubsetSumResult{Values: values, Target: target}
+	out.Metrics.fill(cs)
+	res, rec, err := solveCompiled(cs, ss.cfg)
+	if err != nil {
+		return out, err
+	}
+	out.Reason = res.Reason
+	out.Metrics.ConvergenceTime = res.T
+	out.Metrics.Energy = res.Energy
+	out.Metrics.Attempts = res.Attempts
+	out.Metrics.Steps = res.Steps
+	out.Metrics.Wall = res.Wall
+	if rec != nil {
+		out.Trace = rec
+	}
+	if !res.Solved {
+		return out, nil
+	}
+	var mask, sum uint64
+	for j, s := range selectors {
+		if res.Assignment[s] {
+			mask |= 1 << uint(j)
+			sum += values[j]
+		}
+	}
+	if sum != target {
+		return out, fmt.Errorf("core: verified assignment sums to %d ≠ %d", sum, target)
+	}
+	out.Solved = true
+	out.Mask = mask
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVCVGEval(t *testing.T) {
+	g := VCVG{A1: 1, A2: -2, Ao: 0.5, DC: 3}
+	if got := g.Eval(1, 1, 2); got != 1-2+1+3 {
+		t.Fatalf("Eval = %v, want 3", got)
+	}
+	if g.Coeff(0) != 1 || g.Coeff(1) != -2 || g.Coeff(2) != 0.5 {
+		t.Fatal("Coeff mismatch")
+	}
+}
+
+func TestFDCGShape(t *testing.T) {
+	d := DefaultVCDCG()
+	// Fig. 7: f(0) = 0 with slope -m0.
+	if d.FDCG(0) != 0 {
+		t.Fatalf("f(0) = %v, want 0", d.FDCG(0))
+	}
+	eps := 1e-6
+	slope0 := (d.FDCG(eps) - d.FDCG(-eps)) / (2 * eps)
+	if math.Abs(slope0+d.M0) > 1e-3 {
+		t.Fatalf("slope at 0 = %v, want -m0 = %v", slope0, -d.M0)
+	}
+	// f(±vc) = 0 with slope +m1.
+	if d.FDCG(d.Vc) != 0 || d.FDCG(-d.Vc) != 0 {
+		t.Fatalf("f(±vc) = %v, %v, want 0", d.FDCG(d.Vc), d.FDCG(-d.Vc))
+	}
+	slopeVc := (d.FDCG(d.Vc+eps) - d.FDCG(d.Vc-eps)) / (2 * eps)
+	if math.Abs(slopeVc-d.M1) > 1e-3 {
+		t.Fatalf("slope at vc = %v, want m1 = %v", slopeVc, d.M1)
+	}
+	// Saturation at ±q.
+	if got := d.FDCG(10 * d.Vc); got != d.Q {
+		t.Fatalf("f(10vc) = %v, want q = %v", got, d.Q)
+	}
+	if got := d.FDCG(-10 * d.Vc); got != -d.Q {
+		t.Fatalf("f(-10vc) = %v, want -q", got)
+	}
+	// Dip between 0 and vc saturates at -q.
+	if got := d.FDCG(0.5 * d.Vc); got != -d.Q {
+		t.Fatalf("f(vc/2) = %v, want -q (flat dip)", got)
+	}
+}
+
+func TestFDCGOdd(t *testing.T) {
+	d := DefaultVCDCG()
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Mod(v, 3)
+		return math.Abs(d.FDCG(v)+d.FDCG(-v)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRhoHardStep(t *testing.T) {
+	d := DefaultVCDCG() // δs = 0 → hard step at 1/2
+	if d.Rho(0.4) != 0 || d.Rho(0.6) != 1 {
+		t.Fatalf("ρ(0.4)=%v ρ(0.6)=%v, want 0, 1", d.Rho(0.4), d.Rho(0.6))
+	}
+	// ρ(s) and ρ(1-s) are complementary away from 1/2.
+	if d.Rho(0.9)+d.Rho(1-0.9) != 1 {
+		t.Fatal("ρ(s) + ρ(1-s) != 1 away from s = 1/2")
+	}
+}
+
+func TestFsOffsetRegimes(t *testing.T) {
+	d := DefaultVCDCG()
+	// All currents below imin: drive phase, offset = +ki.
+	if got := d.FsOffset([]float64{0, d.IMin / 2}); got != d.Ki {
+		t.Fatalf("offset(all<imin) = %v, want +ki", got)
+	}
+	// Some current above imax: retreat, offset = -ki.
+	if got := d.FsOffset([]float64{0, d.IMax * 2}); got != -d.Ki {
+		t.Fatalf("offset(some>imax) = %v, want -ki", got)
+	}
+	// Intermediate: hold, offset = 0.
+	if got := d.FsOffset([]float64{d.IMax / 2}); got != 0 {
+		t.Fatalf("offset(mid) = %v, want 0", got)
+	}
+	// Negative currents count by magnitude (windows use i²).
+	if got := d.FsOffset([]float64{-2 * d.IMax}); got != -d.Ki {
+		t.Fatalf("offset(-2imax) = %v, want -ki", got)
+	}
+	// Mixed: one huge, one tiny — retreat wins.
+	if got := d.FsOffset([]float64{d.IMin / 2, 2 * d.IMax}); got != -d.Ki {
+		t.Fatalf("offset(mixed) = %v, want -ki", got)
+	}
+}
+
+func TestFig10Stability(t *testing.T) {
+	d := DefaultVCDCG()
+	sqrt3 := math.Sqrt(3)
+
+	// Offset 0 (hold): bistable — stable near 0 and 1, unstable at 1/2.
+	roots := d.SEquilibria(0)
+	if len(roots) != 3 {
+		t.Fatalf("hold regime: %d equilibria, want 3 (%+v)", len(roots), roots)
+	}
+	if !roots[0].Stable || roots[1].Stable || !roots[2].Stable {
+		t.Fatalf("hold regime stability pattern wrong: %+v", roots)
+	}
+	if math.Abs(roots[0].S) > 1e-6 || math.Abs(roots[1].S-0.5) > 1e-6 || math.Abs(roots[2].S-1) > 1e-6 {
+		t.Fatalf("hold regime roots %+v, want ~{0, 1/2, 1}", roots)
+	}
+
+	// Offset +ki (drive): unique stable root above 1/2 + √3/3 (with
+	// ki = ks it sits near 1.4).
+	roots = d.SEquilibria(+d.Ki)
+	if len(roots) != 1 || !roots[0].Stable {
+		t.Fatalf("drive regime: %+v, want single stable root", roots)
+	}
+	if roots[0].S <= 0.5+sqrt3/3 {
+		t.Fatalf("drive root %v, want > 1/2+√3/3 (Fig. 10)", roots[0].S)
+	}
+
+	// Offset -ki (retreat): unique stable root below 1/2 - √3/3.
+	roots = d.SEquilibria(-d.Ki)
+	if len(roots) != 1 || !roots[0].Stable {
+		t.Fatalf("retreat regime: %+v, want single stable root", roots)
+	}
+	if roots[0].S >= 0.5-sqrt3/3 {
+		t.Fatalf("retreat root %v, want < 1/2-√3/3", roots[0].S)
+	}
+}
+
+func TestSMaxAboveOne(t *testing.T) {
+	d := DefaultVCDCG()
+	smax := d.SMax()
+	if !(smax > 1) {
+		t.Fatalf("s_max = %v, want > 1 (Prop. VI.5)", smax)
+	}
+	// Fs(smax, +ki) ≈ 0.
+	if f := d.Fs(smax, +d.Ki); math.Abs(f) > 1e-12 {
+		t.Fatalf("Fs(s_max) = %v, want 0", f)
+	}
+}
+
+func TestDiDtPhases(t *testing.T) {
+	d := DefaultVCDCG()
+	// Drive phase (s high): di/dt = f_DCG(v); at v slightly above vc the
+	// current should grow.
+	if got := d.DiDt(d.Vc+0.01, 5, 1.0); math.Abs(got-d.FDCG(d.Vc+0.01)) > 1e-12 {
+		t.Fatalf("drive-phase di/dt = %v, want f_DCG", got)
+	}
+	// Retreat phase (s low): di/dt = -γ·i.
+	if got := d.DiDt(0.5, 5, 0.0); math.Abs(got+d.Gamma*5) > 1e-12 {
+		t.Fatalf("retreat-phase di/dt = %v, want -γi = %v", got, -d.Gamma*5)
+	}
+}
+
+func TestRampSource(t *testing.T) {
+	s := RampSource{Target: 2, TRise: 1}
+	if s.V(-1) != 0 {
+		t.Fatalf("V(-1) = %v, want 0", s.V(-1))
+	}
+	if s.V(0) != 0 {
+		t.Fatalf("V(0) = %v, want 0", s.V(0))
+	}
+	if got := s.V(0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("V(mid) = %v, want 1", got)
+	}
+	if s.V(1) != 2 || s.V(5) != 2 {
+		t.Fatal("V after TRise must equal Target")
+	}
+	// Monotone rise.
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 1.0 / 64 {
+		if v := s.V(u); v < prev {
+			t.Fatalf("ramp not monotone at t=%v", u)
+		} else {
+			prev = v
+		}
+	}
+	// Instant source.
+	inst := RampSource{Target: -1, TRise: 0}
+	if inst.V(0) != -1 {
+		t.Fatalf("instant source V(0) = %v, want -1", inst.V(0))
+	}
+}

@@ -1,0 +1,37 @@
+// Package device implements the non-memristive circuit elements of the
+// paper's self-organizing logic circuits: the voltage-controlled voltage
+// generators (VCVGs, Eq. 19) that terminate every dynamic-correction-module
+// branch, the voltage-controlled differential current generators (VCDCGs,
+// Sec. V-D and VI-D/E) that remove the spurious v = 0 equilibria, and the
+// ramped DC sources used by the control unit to impose input bits.
+package device
+
+// VCVG is a linear voltage-controlled voltage generator (Eq. 19):
+//
+//	v = A1·v1 + A2·v2 + Ao·vo + DC ,
+//
+// where v1, v2, vo are the three terminal potentials of the gate the
+// generator belongs to. The coefficient sets for each gate type are the
+// paper's Table I.
+type VCVG struct {
+	A1, A2, Ao, DC float64
+}
+
+// Eval returns the generated voltage for the given terminal potentials.
+func (g VCVG) Eval(v1, v2, vo float64) float64 {
+	return g.A1*v1 + g.A2*v2 + g.Ao*vo + g.DC
+}
+
+// Coeff returns the coefficient multiplying terminal t (0 → v1, 1 → v2,
+// 2 → vo); used when assembling analytic Jacobians and linear stamps.
+func (g VCVG) Coeff(t int) float64 {
+	switch t {
+	case 0:
+		return g.A1
+	case 1:
+		return g.A2
+	case 2:
+		return g.Ao
+	}
+	panic("device: VCVG.Coeff terminal out of range")
+}

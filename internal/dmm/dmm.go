@@ -1,0 +1,108 @@
+// Package dmm realizes the paper's abstract machine layer: the digital
+// memcomputing machine eight-tuple of Def. III.1, its two operating modes
+// (test mode evaluating f(y), solution mode inverting f through a
+// solver), and the information-theoretic accounting of Secs. III-E and
+// IV-C/D (information overhead and accessible information).
+package dmm
+
+import (
+	"fmt"
+
+	"repro/internal/boolcirc"
+)
+
+// Machine is a digital memcomputing machine built over a compact boolean
+// problem f(y) = b (Def. II.1): the boolean system is encoded in the
+// topology of interconnected memprocessors — here represented by the gate
+// graph — and the control unit feeds either y (test mode) or b (solution
+// mode).
+type Machine struct {
+	// Circuit is the boolean system f mapped onto a gate network; its
+	// signals are the memprocessors.
+	Circuit *boolcirc.Circuit
+	// In are the signals carrying y; Out the signals carrying f(y).
+	In, Out []boolcirc.Signal
+	// Solver implements the inverse protocol: given the pinned output
+	// bits b it returns a full satisfying assignment, or ok = false.
+	Solver Solver
+}
+
+// Solver is the pluggable inverse-protocol backend (a SOLC integration, a
+// SAT solver, or anything else that can invert the topology).
+type Solver interface {
+	// SolveInverse finds an assignment satisfying the circuit with the
+	// given pins imposed.
+	SolveInverse(c *boolcirc.Circuit, pins map[boolcirc.Signal]bool) (boolcirc.Assignment, bool, error)
+}
+
+// New builds a machine over the circuit with declared input and output
+// signals.
+func New(c *boolcirc.Circuit, in, out []boolcirc.Signal, solver Solver) *Machine {
+	return &Machine{Circuit: c, In: in, Out: out, Solver: solver}
+}
+
+// Test runs test mode (Fig. 1a): the control unit feeds y into the input
+// memprocessors and the transition-function composition δ = δ_ζ∘...∘δ_α
+// produces f(y), which is compared against b.
+func (m *Machine) Test(y []bool, b []bool) (bool, error) {
+	if len(y) != len(m.In) {
+		return false, fmt.Errorf("dmm: test mode wants %d input bits, got %d", len(m.In), len(y))
+	}
+	if len(b) != len(m.Out) {
+		return false, fmt.Errorf("dmm: test mode wants %d output bits, got %d", len(m.Out), len(b))
+	}
+	// Map y onto the machine's declared inputs irrespective of the
+	// circuit-level input ordering.
+	pins := make([]bool, len(m.Circuit.Inputs))
+	idx := make(map[boolcirc.Signal]int, len(m.Circuit.Inputs))
+	for i, s := range m.Circuit.Inputs {
+		idx[s] = i
+	}
+	for i, s := range m.In {
+		j, ok := idx[s]
+		if !ok {
+			return false, fmt.Errorf("dmm: input signal %d not declared on the circuit", s)
+		}
+		pins[j] = y[i]
+	}
+	assign, err := m.Circuit.Eval(pins)
+	if err != nil {
+		return false, err
+	}
+	for i, s := range m.Out {
+		if assign[s] != b[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Solve runs solution mode (Fig. 1b): the control unit feeds b into the
+// output memprocessors and the machine self-organizes into y with
+// f(y) = b (the topological inverse δ⁻¹ of Sec. III-C).
+func (m *Machine) Solve(b []bool) ([]bool, bool, error) {
+	if len(b) != len(m.Out) {
+		return nil, false, fmt.Errorf("dmm: solution mode wants %d output bits, got %d", len(m.Out), len(b))
+	}
+	pins := make(map[boolcirc.Signal]bool, len(m.Out))
+	for i, s := range m.Out {
+		pins[s] = b[i]
+	}
+	assign, ok, err := m.Solver.SolveInverse(m.Circuit, pins)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	y := make([]bool, len(m.In))
+	for i, s := range m.In {
+		y[i] = assign[s]
+	}
+	// The machine's contract: the returned y must verify in test mode.
+	verified, err := m.Test(y, b)
+	if err != nil {
+		return nil, false, err
+	}
+	if !verified {
+		return nil, false, fmt.Errorf("dmm: solver returned an assignment that fails test mode")
+	}
+	return y, true, nil
+}

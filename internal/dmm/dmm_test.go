@@ -1,0 +1,138 @@
+package dmm
+
+import (
+	"testing"
+
+	"repro/internal/boolcirc"
+	"repro/internal/sat"
+)
+
+// dpllSolver adapts the DPLL baseline to the Solver interface.
+type dpllSolver struct{}
+
+func (dpllSolver) SolveInverse(c *boolcirc.Circuit, pins map[boolcirc.Signal]bool) (boolcirc.Assignment, bool, error) {
+	res := sat.DPLL(c.ToCNF(pins), 0)
+	if res.Status != sat.Satisfiable {
+		return nil, false, nil
+	}
+	return boolcirc.Assignment(res.Assignment), true, nil
+}
+
+func adderMachine() (*Machine, []boolcirc.Signal, []boolcirc.Signal) {
+	c := boolcirc.New()
+	a, b, cin := c.NewSignal(), c.NewSignal(), c.NewSignal()
+	c.MarkInput(a, b, cin)
+	s, cout := c.FullAdder(a, b, cin)
+	c.MarkOutput(s, cout)
+	in := []boolcirc.Signal{a, b, cin}
+	out := []boolcirc.Signal{s, cout}
+	return New(c, in, out, dpllSolver{}), in, out
+}
+
+func TestDMMTestMode(t *testing.T) {
+	m, _, _ := adderMachine()
+	// 1+1+0 = (s=0, cout=1).
+	ok, err := m.Test([]bool{true, true, false}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("correct y rejected in test mode")
+	}
+	ok, err = m.Test([]bool{true, false, false}, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("incorrect y accepted in test mode")
+	}
+}
+
+func TestDMMSolutionMode(t *testing.T) {
+	m, _, _ := adderMachine()
+	y, ok, err := m.Solve([]bool{false, true}) // s=0, cout=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("solution mode failed on a satisfiable b")
+	}
+	ones := 0
+	for _, b := range y {
+		if b {
+			ones++
+		}
+	}
+	if ones != 2 {
+		t.Fatalf("solution mode returned %d ones, want 2", ones)
+	}
+}
+
+func TestDMMSolutionModeUnsat(t *testing.T) {
+	// A half adder cannot produce s=1, c=1 (inputs would need to be both
+	// equal and different).
+	c := boolcirc.New()
+	a, b := c.NewSignal(), c.NewSignal()
+	c.MarkInput(a, b)
+	s, carry := c.HalfAdder(a, b)
+	c.MarkOutput(s, carry)
+	m := New(c, []boolcirc.Signal{a, b}, []boolcirc.Signal{s, carry}, dpllSolver{})
+	_, ok, err := m.Solve([]bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unsatisfiable b reported solvable")
+	}
+}
+
+func TestDMMInputValidation(t *testing.T) {
+	m, _, _ := adderMachine()
+	if _, err := m.Test([]bool{true}, []bool{false, true}); err == nil {
+		t.Fatal("short y should error")
+	}
+	if _, err := m.Test([]bool{true, true, false}, []bool{false}); err == nil {
+		t.Fatal("short b should error")
+	}
+	if _, _, err := m.Solve([]bool{true}); err == nil {
+		t.Fatal("short b should error in solution mode")
+	}
+}
+
+func TestInformationOverheadGrowth(t *testing.T) {
+	// The multiplier machine's union-machine transition count grows with
+	// the gate count while the topological machine is a single collective
+	// transition; the overhead must exceed 1 for nontrivial circuits and
+	// grow with problem size.
+	overhead := func(bits int) float64 {
+		c := boolcirc.New()
+		a := c.NewSignals(bits)
+		b := c.NewSignals(bits / 2)
+		c.Multiplier(a, b)
+		return InformationOverhead(c, bits)
+	}
+	o6, o12 := overhead(6), overhead(12)
+	if o6 <= 1 {
+		t.Fatalf("overhead %v, want > 1", o6)
+	}
+	if o12 <= o6*0.9 {
+		t.Fatalf("overhead should not shrink with size: %v -> %v", o6, o12)
+	}
+}
+
+func TestAccessibleInformation(t *testing.T) {
+	dmmBits, ptmBits := AccessibleInformation(10)
+	if dmmBits != 10 {
+		t.Fatalf("DMM accessible info = %v bits, want 10", dmmBits)
+	}
+	// PTM explores 2m = 20 configurations -> log2(20) ≈ 4.32 bits.
+	if ptmBits >= dmmBits {
+		t.Fatal("PTM must explore exponentially less than the DMM")
+	}
+	if z, _ := AccessibleInformation(0); z != 0 {
+		t.Fatal("zero memprocessors: zero info")
+	}
+	if ShannonSelfInformation(8) != 8 {
+		t.Fatal("self-information should be m bits")
+	}
+}

@@ -1,0 +1,54 @@
+package dmm
+
+import (
+	"math"
+
+	"repro/internal/boolcirc"
+)
+
+// InformationOverhead computes Eq. (3): the ratio between the
+// memprocessors read/written by the transition functions of the
+// *interconnected* machine (the union machine, which must simulate the
+// boolean system gate by gate through non-interacting memprocessors,
+// i.e. the direct protocol) and those of the topological machine whose
+// single collective transition reads the pinned terminals and writes the
+// rest.
+//
+// For the union (non-connected) machine each gate evaluation is a
+// transition touching its fan-in plus output: Σ_j (m_j + m'_j) =
+// Σ_gates (fanin + 1). For the interconnected machine the inverse
+// protocol is one collective transition over all memprocessors: it reads
+// the dim(b) pinned terminals and writes the remaining signals.
+func InformationOverhead(c *boolcirc.Circuit, pinned int) float64 {
+	union := 0
+	for _, g := range c.Gates {
+		if g.Op == boolcirc.Not {
+			union += 2
+		} else {
+			union += 3
+		}
+	}
+	topo := c.NumSignals() // read pinned + written free = all memprocessors
+	if topo == 0 {
+		return 0
+	}
+	return float64(union) / float64(topo)
+}
+
+// AccessibleInformation returns the Sec. IV-C accessible-information
+// measures for m memprocessors: the interacting (DMM) machine explores a
+// configuration-space volume 2^m while the parallel-Turing-machine
+// equivalent explores 2·m. Both are returned in bits (log2 of the
+// volume) to stay finite for large m: the DMM value is m, the PTM value
+// log2(2m).
+func AccessibleInformation(m int) (dmmBits, ptmBits float64) {
+	if m <= 0 {
+		return 0, 0
+	}
+	return float64(m), math.Log2(2 * float64(m))
+}
+
+// ShannonSelfInformation returns I_S = m bits: the self-information of a
+// definite m-bit configuration, identical for DMMs and Turing machines
+// (Sec. IV-C).
+func ShannonSelfInformation(m int) float64 { return float64(m) }

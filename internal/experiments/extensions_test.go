@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInformationOverheadReport(t *testing.T) {
+	rep := InformationOverhead([]int{6, 8, 10})
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	prev := 0.0
+	for _, row := range rep.Rows {
+		io, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if io <= 1 {
+			t.Fatalf("information overhead %v, want > 1", io)
+		}
+		if io < prev {
+			t.Fatalf("overhead should not shrink with size: %v after %v", io, prev)
+		}
+		prev = io
+	}
+}
+
+func TestRandom3SATShape(t *testing.T) {
+	f := random3SAT(newTestRand(), 6, 18)
+	if f.NumVars != 6 || len(f.Clauses) != 18 {
+		t.Fatalf("got %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	for _, cl := range f.Clauses {
+		if len(cl) != 3 {
+			t.Fatalf("clause width %d, want 3", len(cl))
+		}
+		seen := map[int]bool{}
+		for _, l := range cl {
+			v := int(l)
+			if v < 0 {
+				v = -v
+			}
+			if v < 1 || v > 6 {
+				t.Fatalf("literal out of range: %d", l)
+			}
+			if seen[v] {
+				t.Fatalf("repeated variable in clause %v", cl)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestEnergyScalingReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamical run")
+	}
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 100
+	cfg.MaxAttempts = 2
+	rep := EnergyScaling(cfg, []int{4}, 2)
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	e, err := strconv.ParseFloat(rep.Rows[0][4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Fatalf("median energy %v, want > 0", e)
+	}
+}
+
+func TestSolutionDiversityReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamical run")
+	}
+	cfg := core.DefaultConfig()
+	cfg.TEnd = 100
+	rep := SolutionDiversity(cfg, 4)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	d, err := strconv.Atoi(rep.Rows[0][3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 2 {
+		t.Fatalf("AND out=0 diversity %d, want >= 2", d)
+	}
+}
+
+func TestAblationCapacitanceReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamical run")
+	}
+	rep := AblationCapacitance([]float64{2e-2}, 2)
+	if rep.Rows[0][1] != "2/2" {
+		t.Fatalf("C=2e-2 should converge 2/2: %v", rep.Rows[0])
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(5)) }

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/classical"
+	"repro/internal/core"
+)
+
+// ScalingFactorization measures convergence time and circuit size across
+// product bit-widths (the Sec. VII-A O(nn²) claims). Semiprimes are chosen
+// per width; seeds gives the ensemble size per instance. Runs are
+// parallelized across goroutines (the paper used a 72-CPU cluster; we use
+// whatever cores are present).
+func ScalingFactorization(cfg core.Config, bitWidths []int, seeds int) Report {
+	rep := Report{
+		ID:      "scaling-factor",
+		Title:   "Factorization scaling: SOLC size and convergence time vs bits",
+		Headers: []string{"nn", "n", "gates", "dim", "converged", "median t*", "mean wall"},
+	}
+	for _, nn := range bitWidths {
+		n := semiprimeForBits(nn)
+		if n == 0 {
+			continue
+		}
+		type outcome struct {
+			solved bool
+			t      float64
+			wall   time.Duration
+		}
+		results := make([]outcome, seeds)
+		var wg sync.WaitGroup
+		for s := 0; s < seeds; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				c := cfg
+				c.Seed = int64(s + 1)
+				fz := core.NewFactorizer(c)
+				res, err := fz.Factor(n)
+				if err == nil && res.Solved {
+					results[s] = outcome{true, res.Metrics.ConvergenceTime, res.Metrics.Wall}
+				} else if err == nil {
+					results[s] = outcome{false, res.Metrics.ConvergenceTime, res.Metrics.Wall}
+				}
+			}(s)
+		}
+		wg.Wait()
+		var times []float64
+		var wall time.Duration
+		conv := 0
+		var gates, dim int
+		for _, o := range results {
+			if o.solved {
+				conv++
+				times = append(times, o.t)
+			}
+			wall += o.wall
+		}
+		{
+			fz := core.NewFactorizer(cfg)
+			r, err := fz.Factor(n)
+			if err == nil {
+				gates, dim = r.Metrics.Gates, r.Metrics.StateDim
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			f("%d", nn), f("%d", n), f("%d", gates), f("%d", dim),
+			f("%d/%d", conv, seeds), f("%.1f", median(times)),
+			(wall / time.Duration(maxI(seeds, 1))).Round(time.Millisecond).String(),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper claim: gates = O(nn²), convergence time = O(nn²); compare the gates column against nn² and the median t* trend")
+	return rep
+}
+
+// ScalingSubsetSum measures the Sec. VII-B scaling across (n, p).
+func ScalingSubsetSum(cfg core.Config, sizes [][2]int, seeds int) Report {
+	rep := Report{
+		ID:      "scaling-ssp",
+		Title:   "Subset-sum scaling: SOLC size and convergence time vs (n, p)",
+		Headers: []string{"n", "p", "gates", "dim", "converged", "median t*"},
+	}
+	for _, np := range sizes {
+		n, p := np[0], np[1]
+		rng := rand.New(rand.NewSource(int64(n*100 + p)))
+		values := make([]uint64, n)
+		for j := range values {
+			values[j] = uint64(1 + rng.Intn(1<<uint(p)-1))
+		}
+		// Guarantee satisfiability: target = a random non-empty subset.
+		var target uint64
+		for target == 0 {
+			mask := uint64(rng.Intn(1<<uint(n)-1) + 1)
+			target = classical.ApplyMask(values, mask)
+		}
+		var times []float64
+		conv := 0
+		var gates, dim int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for s := 0; s < seeds; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				c := cfg
+				c.Seed = int64(s + 1)
+				ss := core.NewSubsetSum(c)
+				res, err := ss.Solve(values, target)
+				mu.Lock()
+				defer mu.Unlock()
+				if err == nil {
+					gates, dim = res.Metrics.Gates, res.Metrics.StateDim
+					if res.Solved {
+						conv++
+						times = append(times, res.Metrics.ConvergenceTime)
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		rep.Rows = append(rep.Rows, []string{
+			f("%d", n), f("%d", p), f("%d", gates), f("%d", dim),
+			f("%d/%d", conv, seeds), f("%.1f", median(times)),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper claim: gates = O(p(n+log2(n-1))), convergence time = O((n+p)²)")
+	return rep
+}
+
+// Ensemble runs many random initial conditions on one instance and
+// reports the converged fraction — the empirical support for the absence
+// of competing periodic orbits / strange attractors (Sec. VI-H).
+func Ensemble(cfg core.Config, n uint64, seeds int) Report {
+	rep := Report{
+		ID:      "ensemble",
+		Title:   "Ensemble convergence from random initial conditions (Sec. VI-H)",
+		Headers: []string{"n", "seeds", "converged", "fraction", "median t*"},
+	}
+	conv := 0
+	var times []float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < seeds; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := cfg
+			c.Seed = int64(1000 + s)
+			c.MaxAttempts = 1
+			fz := core.NewFactorizer(c)
+			res, err := fz.Factor(n)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil && res.Solved {
+				conv++
+				times = append(times, res.Metrics.ConvergenceTime)
+			}
+		}(s)
+	}
+	wg.Wait()
+	rep.Rows = append(rep.Rows, []string{
+		f("%d", n), f("%d", seeds), f("%d", conv),
+		f("%.2f", float64(conv)/float64(maxI(seeds, 1))), f("%.1f", median(times)),
+	})
+	return rep
+}
+
+// semiprimeForBits returns a canonical semiprime with exactly nn bits
+// whose factors fit the paper's word sizes.
+func semiprimeForBits(nn int) uint64 {
+	np, nq := core.WordSizes(nn)
+	best := uint64(0)
+	for q := uint64(1<<uint(nq)) - 1; q >= 3; q -= 2 {
+		if !classical.IsPrime(q) {
+			continue
+		}
+		for p := uint64(1<<uint(np)) - 1; p >= q; p -= 2 {
+			if !classical.IsPrime(p) {
+				continue
+			}
+			n := p * q
+			if core.BitLen(n) == nn {
+				return n
+			}
+			if core.BitLen(n) < nn {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64{}, xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

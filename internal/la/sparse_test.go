@@ -1,0 +1,105 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderDuplicatesSummed(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, -3)
+	m := b.Compile()
+	if got := m.At(0, 0); got != 3 {
+		t.Fatalf("At(0,0) = %v, want 3 (duplicates summed)", got)
+	}
+	if got := m.At(1, 1); got != -3 {
+		t.Fatalf("At(1,1) = %v, want -3", got)
+	}
+	if got := m.At(0, 1); got != 0 {
+		t.Fatalf("At(0,1) = %v, want 0", got)
+	}
+}
+
+func TestBuilderCancellationDropped(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Add(0, 0, 5)
+	b.Add(0, 0, -5)
+	m := b.Compile()
+	if m.NNZ() != 0 {
+		t.Fatalf("NNZ = %d, want 0 after exact cancellation", m.NNZ())
+	}
+}
+
+func TestCSRMulVecKnown(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.Add(0, 0, 1)
+	b.Add(0, 2, 2)
+	b.Add(1, 1, 3)
+	m := b.Compile()
+	dst := NewVector(2)
+	m.MulVec(dst, Vector{1, 2, 3})
+	if dst[0] != 7 || dst[1] != 6 {
+		t.Fatalf("got %v, want [7 6]", dst)
+	}
+}
+
+func TestCSRMulVecAdd(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	m := b.Compile()
+	dst := Vector{10, 20}
+	m.MulVecAdd(dst, 2, Vector{1, 2})
+	if dst[0] != 12 || dst[1] != 24 {
+		t.Fatalf("got %v, want [12 24]", dst)
+	}
+}
+
+// Property: CSR.MulVec agrees with the dense expansion on random sparse
+// matrices.
+func TestCSRMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(15)
+		cols := 1 + r.Intn(15)
+		b := NewBuilder(rows, cols)
+		nnz := r.Intn(4 * rows)
+		for k := 0; k < nnz; k++ {
+			b.Add(r.Intn(rows), r.Intn(cols), r.NormFloat64())
+		}
+		m := b.Compile()
+		d := m.ToDense()
+		v := NewVector(cols)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		got := NewVector(rows)
+		want := NewVector(rows)
+		m.MulVec(got, v)
+		d.MulVec(want, v)
+		return got.MaxAbsDiff(want) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRRowPtrInvariant(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.Add(3, 0, 1)
+	b.Add(0, 3, 1)
+	b.Add(2, 2, 1)
+	m := b.Compile()
+	if m.RowPtr[0] != 0 || m.RowPtr[4] != m.NNZ() {
+		t.Fatalf("RowPtr invariant violated: %v nnz=%d", m.RowPtr, m.NNZ())
+	}
+	for i := 0; i < 4; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			t.Fatalf("RowPtr not monotone: %v", m.RowPtr)
+		}
+	}
+}

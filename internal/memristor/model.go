@@ -1,0 +1,100 @@
+package memristor
+
+import "math"
+
+// Model holds the device parameters for the paper's memristor (Eqs. 14-18,
+// 26, 31, 40). The internal state x ∈ [0,1] interpolates the resistance
+// between Ron (x=0) and Roff (x=1).
+type Model struct {
+	Ron  float64 // minimum resistance (x = 0)
+	Roff float64 // maximum resistance (x = 1)
+	// Alpha is the state-equation rate constant (Eq. 22); it sets the
+	// memristor switching time scale τ_M ∝ 1/α.
+	Alpha float64
+	// K is the boundary-window steepness k in Eq. (31). math.Inf(1)
+	// selects the hard window (Table II uses k = ∞); the circuit layer
+	// then relies on exact clamping of x to [0,1] (Prop. VI.2).
+	K float64
+	// Vt is the threshold voltage in Eq. (40); Vt ≤ 0 reduces θ̃(v/2Vt)
+	// to the Heaviside step θ(v), matching Table II's Vt = 0.
+	Vt float64
+	// Step is the smooth step θ̃_r used inside h. Nil means hard Heaviside.
+	Step *SmoothStep
+}
+
+// Default returns the Table II device: Ron = 1e-2, Roff = 1, α = 60,
+// k = ∞, Vt = 0, with a C¹ smooth step available for the threshold form.
+func Default() Model {
+	return Model{
+		Ron:   1e-2,
+		Roff:  1,
+		Alpha: 60,
+		K:     math.Inf(1),
+		Vt:    0,
+		Step:  NewSmoothStep(1),
+	}
+}
+
+// R1 returns Roff - Ron (the state-dependent resistance span of Eq. 26).
+func (m Model) R1() float64 { return m.Roff - m.Ron }
+
+// M returns the memristance M(x) = Ron(1-x) + Roff·x (Eq. 18).
+func (m Model) M(x float64) float64 { return m.Ron*(1-x) + m.Roff*x }
+
+// G returns the conductance g(x) = 1/(R1·x + Ron) (Eq. 26).
+func (m Model) G(x float64) float64 { return 1 / (m.R1()*x + m.Ron) }
+
+// theta evaluates the voltage gate of Eq. (40): θ̃_r(v / 2Vt), reducing to
+// the Heaviside θ(v) when Vt ≤ 0 or no smooth step is configured.
+func (m Model) theta(v float64) float64 {
+	if m.Vt <= 0 || m.Step == nil {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	}
+	return m.Step.Eval(v / (2 * m.Vt))
+}
+
+// window returns the boundary factor 1 - e^{-k·d} where d is the distance
+// from the blocking boundary; with K = ∞ it is the hard indicator d > 0.
+func (m Model) window(d float64) float64 {
+	if math.IsInf(m.K, 1) {
+		if d > 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - math.Exp(-m.K*d)
+}
+
+// H evaluates the window function h(x, vM) of Eq. (31)/(40):
+//
+//	h = (1 - e^{-k·x})·θ̃(vM) + (1 - e^{-k(1-x)})·θ̃(-vM).
+//
+// For vM > 0 the state decreases toward 0, so the x-side factor blocks at
+// x = 0; for vM < 0 the state increases toward 1 and the (1-x)-side factor
+// blocks there.
+func (m Model) H(x, vM float64) float64 {
+	return m.window(x)*m.theta(vM) + m.window(1-x)*m.theta(-vM)
+}
+
+// DxDt returns the memristor state equation (Eq. 29):
+//
+//	dx/dt = -α · h(x, vM) · g(x) · vM ,
+//
+// where g(x)·vM is the current through the device (current-driven form).
+func (m Model) DxDt(x, vM float64) float64 {
+	return -m.Alpha * m.H(x, vM) * m.G(x) * vM
+}
+
+// Clamp returns x restricted to the invariant interval [0,1].
+func Clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,144 @@
+package memristor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemristanceEndpoints(t *testing.T) {
+	m := Default()
+	if m.M(0) != m.Ron {
+		t.Fatalf("M(0) = %v, want Ron = %v", m.M(0), m.Ron)
+	}
+	if m.M(1) != m.Roff {
+		t.Fatalf("M(1) = %v, want Roff = %v", m.M(1), m.Roff)
+	}
+}
+
+func TestConductanceIsInverseMemristance(t *testing.T) {
+	m := Default()
+	for x := 0.0; x <= 1.0; x += 0.1 {
+		if got, want := m.G(x), 1/m.M(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("g(%v) = %v, want 1/M = %v", x, got, want)
+		}
+	}
+}
+
+func TestWindowBlocksAtBoundaries(t *testing.T) {
+	m := Default() // hard window (k = ∞)
+	// At x=0 with vM>0 the state would decrease below 0: h must be 0.
+	if h := m.H(0, +1); h != 0 {
+		t.Fatalf("h(0, +v) = %v, want 0 (x cannot leave [0,1], Prop. VI.2)", h)
+	}
+	// At x=1 with vM<0 the state would increase above 1: h must be 0.
+	if h := m.H(1, -1); h != 0 {
+		t.Fatalf("h(1, -v) = %v, want 0", h)
+	}
+	// Opposite signs re-enter the interval: h > 0.
+	if h := m.H(0, -1); h <= 0 {
+		t.Fatalf("h(0, -v) = %v, want > 0", h)
+	}
+	if h := m.H(1, +1); h <= 0 {
+		t.Fatalf("h(1, +v) = %v, want > 0", h)
+	}
+}
+
+func TestDxDtSignDrivesTowardBoundaries(t *testing.T) {
+	m := Default()
+	// Positive voltage (current g·v > 0) decreases x (Eq. 33).
+	if d := m.DxDt(0.5, +0.8); d >= 0 {
+		t.Fatalf("dx/dt = %v at vM>0, want < 0", d)
+	}
+	// Negative voltage increases x (Eq. 34).
+	if d := m.DxDt(0.5, -0.8); d <= 0 {
+		t.Fatalf("dx/dt = %v at vM<0, want > 0", d)
+	}
+	// Zero voltage: no drift.
+	if d := m.DxDt(0.5, 0); d != 0 {
+		t.Fatalf("dx/dt = %v at vM=0, want 0", d)
+	}
+}
+
+func TestInvarianceProperty(t *testing.T) {
+	// Prop. VI.2: starting anywhere in [0,1], a forward-Euler flow with
+	// clamping stays in [0,1] for any voltage history.
+	m := Default()
+	f := func(x0, v float64, seed int64) bool {
+		x := math.Mod(math.Abs(x0), 1)
+		if math.IsNaN(x) || math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		vv := math.Mod(v, 2)
+		dt := 1e-3
+		for i := 0; i < 200; i++ {
+			x = Clamp(x + dt*m.DxDt(x, vv))
+			if x < 0 || x > 1 {
+				return false
+			}
+			vv = -vv // alternate drive
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiniteKWindowSmooth(t *testing.T) {
+	m := Default()
+	m.K = 20 // finite window
+	// h should shrink smoothly near the blocking boundary.
+	h1 := m.H(0.5, +1)
+	h2 := m.H(0.05, +1)
+	h3 := m.H(0.005, +1)
+	if !(h1 > h2 && h2 > h3 && h3 > 0) {
+		t.Fatalf("finite-k window not decreasing toward x=0: %v %v %v", h1, h2, h3)
+	}
+}
+
+func TestThresholdGate(t *testing.T) {
+	m := Default()
+	m.Vt = 0.5
+	m.Step = NewSmoothStep(2)
+	// Below threshold region the gate is partial; far above it saturates.
+	if g := m.theta(2 * m.Vt); g != 1 {
+		t.Fatalf("theta at v=2Vt should be 1, got %v", g)
+	}
+	if g := m.theta(-0.1); g != 0 {
+		t.Fatalf("theta at negative v should be 0, got %v", g)
+	}
+	mid := m.theta(0.5)
+	if !(mid > 0 && mid < 1) {
+		t.Fatalf("theta mid-range should be fractional, got %v", mid)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, want float64 }{{-0.1, 0}, {0, 0}, {0.4, 0.4}, {1, 1}, {1.3, 1}}
+	for _, c := range cases {
+		if got := Clamp(c.in); got != c.want {
+			t.Fatalf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEquilibriumAtBoundariesUnderConstantDrive(t *testing.T) {
+	// Integrating under constant positive voltage must settle at x=0
+	// (conductance Ron side); constant negative voltage at x=1 (Sec. VI-G).
+	m := Default()
+	integrate := func(v float64) float64 {
+		x := 0.5
+		dt := 1e-4
+		for i := 0; i < 200000; i++ {
+			x = Clamp(x + dt*m.DxDt(x, v))
+		}
+		return x
+	}
+	if x := integrate(+1); x > 1e-6 {
+		t.Fatalf("x(∞) under +v = %v, want 0", x)
+	}
+	if x := integrate(-1); x < 1-1e-6 {
+		t.Fatalf("x(∞) under -v = %v, want 1", x)
+	}
+}

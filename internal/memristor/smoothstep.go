@@ -1,0 +1,189 @@
+// Package memristor implements the memristive device model of the paper
+// (Sec. V-C and VI-B/C): the linear memristance M(x) = Ron(1-x) + Roff·x
+// (Eq. 18), the conductance g(x) (Eq. 26), the window function h(x, v)
+// (Eqs. 30, 31, 40) and the C^r smooth step polynomials θ̃_r (Eq. 37) that
+// give the state equation a chosen class of continuity.
+package memristor
+
+import "math"
+
+// SmoothStep is the paper's θ̃_r: a polynomial step that is 0 for y ≤ 0,
+// 1 for y ≥ 1, and whose first r derivatives vanish at both ends, making
+// the overall vector field C^r (Prop. VI.3). The polynomial is
+//
+//	θ̃_r(y) = ∫₀ʸ zʳ(z-1)ʳ dz / ∫₀¹ zʳ(z-1)ʳ dz ,
+//
+// which expands to Σ_{i=r+1}^{2r+1} a_i yⁱ. (The normalization reproduces
+// the paper's Fig. 9 examples: r=1 → 3y²-2y³, r=2 → 10y³-15y⁴+6y⁵,
+// r=3 → 35y⁴-84y⁵+70y⁶-20y⁷.)
+type SmoothStep struct {
+	R int
+	// coef[i] is the coefficient a_{r+1+i} of y^{r+1+i}, i = 0..r.
+	coef []float64
+}
+
+// NewSmoothStep builds θ̃_r for the given order r ≥ 0. r = 0 gives the
+// piecewise-linear ramp.
+func NewSmoothStep(r int) *SmoothStep {
+	if r < 0 {
+		panic("memristor: smooth step order must be >= 0")
+	}
+	// Integrand z^r (z-1)^r = Σ_k C(r,k) (-1)^{r-k} z^{r+k};
+	// antiderivative term: z^{r+k+1} / (r+k+1).
+	coef := make([]float64, r+1)
+	var norm float64
+	sign := 1.0
+	if r%2 == 1 {
+		sign = -1.0
+	}
+	for k := 0; k <= r; k++ {
+		c := sign * binomial(r, k) / float64(r+k+1)
+		coef[k] = c
+		norm += c
+		sign = -sign
+	}
+	for k := range coef {
+		coef[k] /= norm
+	}
+	return &SmoothStep{R: r, coef: coef}
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// maxPolyOrder is the largest r for which the monomial-basis polynomial is
+// evaluated directly; beyond it the alternating coefficients overflow the
+// double-precision cancellation budget and Eval switches to the equivalent
+// regularized incomplete beta form θ̃_r(y) = I_y(r+1, r+1).
+const maxPolyOrder = 10
+
+// Eval returns θ̃_r(y).
+func (s *SmoothStep) Eval(y float64) float64 {
+	if y <= 0 {
+		return 0
+	}
+	if y >= 1 {
+		return 1
+	}
+	if s.R > maxPolyOrder {
+		return regIncompleteBeta(float64(s.R+1), float64(s.R+1), y)
+	}
+	// Horner on Σ coef[i] y^{r+1+i} = y^{r+1} Σ coef[i] y^i.
+	var p float64
+	for i := len(s.coef) - 1; i >= 0; i-- {
+		p = p*y + s.coef[i]
+	}
+	return p * math.Pow(y, float64(s.R+1))
+}
+
+// regIncompleteBeta computes the regularized incomplete beta function
+// I_x(a, b) by the standard continued-fraction expansion.
+func regIncompleteBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncompleteBeta(b, a, 1-x)
+	}
+	// Lentz's continued fraction.
+	const tiny = 1e-300
+	f, c, d := 1.0, 1.0, 0.0
+	for m := 0; m <= 300; m++ {
+		var num float64
+		if m == 0 {
+			num = 1
+		} else if m%2 == 0 {
+			k := float64(m / 2)
+			num = k * (b - k) * x / ((a + 2*k - 1) * (a + 2*k))
+		} else {
+			k := float64((m - 1) / 2)
+			num = -((a + k) * (a + b + k) * x) / ((a + 2*k) * (a + 2*k + 1))
+		}
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < 1e-15 {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Deriv returns dθ̃_r/dy.
+func (s *SmoothStep) Deriv(y float64) float64 {
+	if y <= 0 || y >= 1 {
+		return 0
+	}
+	var p float64
+	for i := len(s.coef) - 1; i >= 0; i-- {
+		k := float64(s.R + 1 + i)
+		p = p*y + k*s.coef[i]
+	}
+	return p * math.Pow(y, float64(s.R))
+}
+
+// Deriv2 returns d²θ̃_r/dy² (used to render the Fig. 9 insets).
+func (s *SmoothStep) Deriv2(y float64) float64 {
+	if y <= 0 || y >= 1 {
+		return 0
+	}
+	var p float64
+	for i := len(s.coef) - 1; i >= 0; i-- {
+		k := float64(s.R + 1 + i)
+		p = p*y + k*(k-1)*s.coef[i]
+	}
+	if s.R == 0 {
+		return 0
+	}
+	return p * math.Pow(y, float64(s.R-1))
+}
+
+// Coefficients returns the nonzero polynomial coefficients: the returned
+// slice c satisfies θ̃_r(y) = Σ_i c[i]·y^{r+1+i} on [0,1].
+func (s *SmoothStep) Coefficients() []float64 {
+	out := make([]float64, len(s.coef))
+	copy(out, s.coef)
+	return out
+}
+
+// Shifted evaluates the paper's shifted-and-scaled step
+// θ̃_r((y-y0)/δ) that appears in ρ(s) (Eq. 44) and f_s (Eq. 47).
+// When δ ≤ 0 it degenerates to the hard Heaviside step at y0 (with
+// θ(0) = 0, matching Eq. 32's strict inequality).
+func (s *SmoothStep) Shifted(y, y0, delta float64) float64 {
+	if delta <= 0 {
+		if y > y0 {
+			return 1
+		}
+		return 0
+	}
+	return s.Eval((y - y0) / delta)
+}

@@ -1,0 +1,154 @@
+package memristor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's Fig. 9 lists the explicit polynomials for r = 1, 2, 3.
+func fig9Reference(r int, y float64) float64 {
+	switch r {
+	case 1:
+		return -2*y*y*y + 3*y*y
+	case 2:
+		return 6*math.Pow(y, 5) - 15*math.Pow(y, 4) + 10*math.Pow(y, 3)
+	case 3:
+		return -20*math.Pow(y, 7) + 70*math.Pow(y, 6) - 84*math.Pow(y, 5) + 35*math.Pow(y, 4)
+	}
+	panic("unsupported r")
+}
+
+func TestFig9ThetaPolynomials(t *testing.T) {
+	for r := 1; r <= 3; r++ {
+		s := NewSmoothStep(r)
+		for y := 0.0; y <= 1.0; y += 1.0 / 64 {
+			want := fig9Reference(r, y)
+			got := s.Eval(y)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("r=%d y=%v: θ̃ = %v, want %v (paper Fig. 9)", r, y, got, want)
+			}
+		}
+	}
+}
+
+func TestSmoothStepBoundaries(t *testing.T) {
+	for r := 0; r <= 5; r++ {
+		s := NewSmoothStep(r)
+		if s.Eval(-0.5) != 0 || s.Eval(0) != 0 {
+			t.Fatalf("r=%d: θ̃ must be 0 for y ≤ 0", r)
+		}
+		if s.Eval(1) != 1 || s.Eval(2) != 1 {
+			t.Fatalf("r=%d: θ̃ must be 1 for y ≥ 1", r)
+		}
+	}
+}
+
+func TestSmoothStepDerivativesVanishAtEnds(t *testing.T) {
+	// Condition 4 of Sec. VI-C: the first r derivatives vanish at 0 and 1.
+	eps := 1e-6
+	for r := 1; r <= 4; r++ {
+		s := NewSmoothStep(r)
+		if d := s.Deriv(eps); math.Abs(d) > 1e-4 {
+			t.Fatalf("r=%d: θ̃'(0+) = %v, want ~0", r, d)
+		}
+		if d := s.Deriv(1 - eps); math.Abs(d) > 1e-4 {
+			t.Fatalf("r=%d: θ̃'(1-) = %v, want ~0", r, d)
+		}
+	}
+	// But r=0 (linear ramp) has slope 1 everywhere inside.
+	s0 := NewSmoothStep(0)
+	if d := s0.Deriv(0.5); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("r=0 slope = %v, want 1", d)
+	}
+}
+
+func TestSmoothStepMonotone(t *testing.T) {
+	for r := 0; r <= 5; r++ {
+		s := NewSmoothStep(r)
+		prev := 0.0
+		for y := 0.0; y <= 1.0; y += 1.0 / 256 {
+			v := s.Eval(y)
+			if v < prev-1e-14 {
+				t.Fatalf("r=%d: θ̃ not monotone at y=%v (%v < %v)", r, y, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSmoothStepMidpointSymmetry(t *testing.T) {
+	// θ̃_r(y) + θ̃_r(1-y) = 1 (the integrand is symmetric about 1/2).
+	f := func(yRaw float64, rRaw uint8) bool {
+		r := int(rRaw % 6)
+		y := math.Mod(math.Abs(yRaw), 1)
+		if math.IsNaN(y) {
+			return true
+		}
+		s := NewSmoothStep(r)
+		return math.Abs(s.Eval(y)+s.Eval(1-y)-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothStepDerivMatchesFiniteDifference(t *testing.T) {
+	for r := 1; r <= 4; r++ {
+		s := NewSmoothStep(r)
+		for _, y := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			h := 1e-6
+			fd := (s.Eval(y+h) - s.Eval(y-h)) / (2 * h)
+			if math.Abs(fd-s.Deriv(y)) > 1e-5 {
+				t.Fatalf("r=%d y=%v: Deriv=%v, fd=%v", r, y, s.Deriv(y), fd)
+			}
+			fd2 := (s.Deriv(y+h) - s.Deriv(y-h)) / (2 * h)
+			if math.Abs(fd2-s.Deriv2(y)) > 1e-4 {
+				t.Fatalf("r=%d y=%v: Deriv2=%v, fd=%v", r, y, s.Deriv2(y), fd2)
+			}
+		}
+	}
+}
+
+func TestSmoothStepLimitIsHeaviside(t *testing.T) {
+	// lim_{r→∞} θ̃_r(y) = θ(y - 1/2) (Sec. VI-C). At r = 25 the transition
+	// is already sharp.
+	s := NewSmoothStep(25)
+	if s.Eval(0.3) > 0.02 {
+		t.Fatalf("θ̃_25(0.3) = %v, want ~0", s.Eval(0.3))
+	}
+	if s.Eval(0.7) < 0.98 {
+		t.Fatalf("θ̃_25(0.7) = %v, want ~1", s.Eval(0.7))
+	}
+	if math.Abs(s.Eval(0.5)-0.5) > 1e-9 {
+		t.Fatalf("θ̃_25(0.5) = %v, want 0.5", s.Eval(0.5))
+	}
+}
+
+func TestShifted(t *testing.T) {
+	s := NewSmoothStep(1)
+	// Hard step when delta <= 0 (Table II has δs = δi = 0).
+	if s.Shifted(0.5, 0.5, 0) != 0 {
+		t.Fatal("hard step at the threshold should be 0 (strict inequality, Eq. 32)")
+	}
+	if s.Shifted(0.6, 0.5, 0) != 1 {
+		t.Fatal("hard step above threshold should be 1")
+	}
+	// Smooth when delta > 0.
+	if got := s.Shifted(0.75, 0.5, 0.5); math.Abs(got-s.Eval(0.5)) > 1e-12 {
+		t.Fatalf("Shifted mid = %v, want θ̃(0.5)", got)
+	}
+}
+
+func TestCoefficientsSumToOne(t *testing.T) {
+	for r := 0; r <= 6; r++ {
+		c := NewSmoothStep(r).Coefficients()
+		var sum float64
+		for _, a := range c {
+			sum += a
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("r=%d: Σa_i = %v, want 1 (θ̃(1)=1)", r, sum)
+		}
+	}
+}

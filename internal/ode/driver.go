@@ -1,0 +1,182 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// StopReason reports why an integration run ended.
+type StopReason int
+
+// Stop reasons returned by Driver.Run.
+const (
+	StopNone      StopReason = iota
+	StopCondition            // the caller's stop condition fired
+	StopTEnd                 // reached the time horizon
+	StopMaxSteps             // exceeded the step budget
+	StopError                // a step failed irrecoverably
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopCondition:
+		return "condition"
+	case StopTEnd:
+		return "t-end"
+	case StopMaxSteps:
+		return "max-steps"
+	case StopError:
+		return "error"
+	default:
+		return "none"
+	}
+}
+
+// Driver integrates a System with a Stepper until a stop condition fires or
+// the budget runs out.
+type Driver struct {
+	Stepper Stepper
+	// H is the (initial) step size. For adaptive steppers it is adjusted
+	// within [HMin, HMax] to keep the error estimate near Tol.
+	H          float64
+	HMin, HMax float64
+	Tol        float64
+	TEnd       float64 // time horizon (0 means unbounded)
+	MaxSteps   int     // step budget (0 means unbounded)
+
+	// Observe, when non-nil, is invoked after every accepted step.
+	Observe func(t float64, x la.Vector)
+	// Stop, when non-nil, is checked after every accepted step; returning
+	// true ends the run with StopCondition.
+	Stop func(t float64, x la.Vector) bool
+}
+
+// Result summarizes an integration run.
+type Result struct {
+	T      float64
+	Reason StopReason
+	Err    error
+}
+
+// ErrNaNState is returned when the state becomes NaN/Inf.
+var ErrNaNState = errors.New("ode: state became NaN or Inf")
+
+// Run integrates x in place starting at time t0 and returns the final time
+// and stop reason.
+func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
+	if d.Stepper == nil {
+		panic("ode: Driver requires a Stepper")
+	}
+	h := d.H
+	if h <= 0 {
+		panic("ode: Driver requires H > 0")
+	}
+	hMin, hMax := d.HMin, d.HMax
+	if hMin <= 0 {
+		hMin = h * 1e-6
+	}
+	if hMax <= 0 {
+		hMax = h * 1e3
+	}
+	tol := d.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	adaptive := d.Stepper.Adaptive()
+	t := t0
+	steps := 0
+	backup := x.Clone()
+	for {
+		if d.MaxSteps > 0 && steps >= d.MaxSteps {
+			return Result{T: t, Reason: StopMaxSteps}
+		}
+		if d.TEnd > 0 && t >= d.TEnd {
+			return Result{T: t, Reason: StopTEnd}
+		}
+		hTry := h
+		if d.TEnd > 0 && t+hTry > d.TEnd {
+			hTry = d.TEnd - t
+		}
+		backup.CopyFrom(x)
+		errEst, err := d.Stepper.Step(sys, t, hTry, x)
+		if err != nil {
+			// Retry with a smaller step for transient failures.
+			x.CopyFrom(backup)
+			h *= 0.25
+			if h < hMin {
+				return Result{T: t, Reason: StopError, Err: fmt.Errorf("step size underflow: %w", err)}
+			}
+			continue
+		}
+		if x.HasNaN() {
+			x.CopyFrom(backup)
+			h *= 0.25
+			if h < hMin {
+				return Result{T: t, Reason: StopError, Err: ErrNaNState}
+			}
+			continue
+		}
+		if adaptive {
+			if errEst > tol {
+				// Reject and shrink.
+				x.CopyFrom(backup)
+				shrink := 0.9 * math.Pow(tol/errEst, 0.25)
+				if shrink < 0.1 {
+					shrink = 0.1
+				}
+				h = hTry * shrink
+				if h < hMin {
+					return Result{T: t, Reason: StopError,
+						Err: fmt.Errorf("%w: adaptive step underflow (err=%.3g tol=%.3g)", ErrStepFailure, errEst, tol)}
+				}
+				continue
+			}
+			// Accept and maybe grow.
+			grow := 5.0
+			if errEst > 0 {
+				grow = 0.9 * math.Pow(tol/errEst, 0.2)
+				if grow > 5 {
+					grow = 5
+				}
+				if grow < 0.2 {
+					grow = 0.2
+				}
+			}
+			h = math.Min(hTry*grow, hMax)
+			if h < hMin {
+				h = hMin
+			}
+		}
+		t += hTry
+		steps++
+		if d.Observe != nil {
+			d.Observe(t, x)
+		}
+		if d.Stop != nil && d.Stop(t, x) {
+			return Result{T: t, Reason: StopCondition}
+		}
+	}
+}
+
+// SteadyState returns a stop predicate that fires when the derivative
+// infinity-norm stays below tol for `hold` consecutive checks. It allocates
+// its own scratch space and is not safe for concurrent use.
+func SteadyState(sys System, tol float64, hold int) func(t float64, x la.Vector) bool {
+	if hold < 1 {
+		hold = 1
+	}
+	dx := la.NewVector(sys.Dim())
+	count := 0
+	return func(t float64, x la.Vector) bool {
+		sys.Derivative(t, x, dx)
+		if dx.NormInf() < tol {
+			count++
+		} else {
+			count = 0
+		}
+		return count >= hold
+	}
+}

@@ -1,0 +1,124 @@
+package ode
+
+import "repro/internal/la"
+
+// Euler is the forward Euler method (order 1, fixed step).
+type Euler struct {
+	stats *Stats
+	k     la.Vector
+}
+
+// NewEuler returns a forward Euler stepper reporting into stats (may be nil).
+func NewEuler(stats *Stats) *Euler { return &Euler{stats: stats} }
+
+// Name identifies the method.
+func (e *Euler) Name() string { return "euler" }
+
+// Adaptive reports false: Euler has no embedded error estimate.
+func (e *Euler) Adaptive() bool { return false }
+
+// Step advances x by one forward Euler step.
+func (e *Euler) Step(sys System, t, h float64, x la.Vector) (float64, error) {
+	if err := validStep(h); err != nil {
+		return 0, err
+	}
+	if len(e.k) != len(x) {
+		e.k = la.NewVector(len(x))
+	}
+	sys.Derivative(t, x, e.k)
+	x.AXPY(h, e.k)
+	if e.stats != nil {
+		e.stats.FEvals++
+		e.stats.Steps++
+	}
+	return 0, nil
+}
+
+// Heun is the explicit trapezoidal (Heun) method, order 2.
+type Heun struct {
+	stats  *Stats
+	k1, k2 la.Vector
+	xt     la.Vector
+}
+
+// NewHeun returns a Heun stepper.
+func NewHeun(stats *Stats) *Heun { return &Heun{stats: stats} }
+
+// Name identifies the method.
+func (s *Heun) Name() string { return "heun" }
+
+// Adaptive reports false.
+func (s *Heun) Adaptive() bool { return false }
+
+// Step advances x by one Heun step.
+func (s *Heun) Step(sys System, t, h float64, x la.Vector) (float64, error) {
+	if err := validStep(h); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if len(s.k1) != n {
+		s.k1, s.k2, s.xt = la.NewVector(n), la.NewVector(n), la.NewVector(n)
+	}
+	sys.Derivative(t, x, s.k1)
+	s.xt.CopyFrom(x)
+	s.xt.AXPY(h, s.k1)
+	sys.Derivative(t+h, s.xt, s.k2)
+	for i := range x {
+		x[i] += h * 0.5 * (s.k1[i] + s.k2[i])
+	}
+	if s.stats != nil {
+		s.stats.FEvals += 2
+		s.stats.Steps++
+	}
+	return 0, nil
+}
+
+// RK4 is the classical fourth-order Runge-Kutta method.
+type RK4 struct {
+	stats          *Stats
+	k1, k2, k3, k4 la.Vector
+	xt             la.Vector
+}
+
+// NewRK4 returns an RK4 stepper.
+func NewRK4(stats *Stats) *RK4 { return &RK4{stats: stats} }
+
+// Name identifies the method.
+func (s *RK4) Name() string { return "rk4" }
+
+// Adaptive reports false.
+func (s *RK4) Adaptive() bool { return false }
+
+// Step advances x by one RK4 step.
+func (s *RK4) Step(sys System, t, h float64, x la.Vector) (float64, error) {
+	if err := validStep(h); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if len(s.k1) != n {
+		s.k1, s.k2 = la.NewVector(n), la.NewVector(n)
+		s.k3, s.k4 = la.NewVector(n), la.NewVector(n)
+		s.xt = la.NewVector(n)
+	}
+	sys.Derivative(t, x, s.k1)
+	for i := range x {
+		s.xt[i] = x[i] + 0.5*h*s.k1[i]
+	}
+	sys.Derivative(t+0.5*h, s.xt, s.k2)
+	for i := range x {
+		s.xt[i] = x[i] + 0.5*h*s.k2[i]
+	}
+	sys.Derivative(t+0.5*h, s.xt, s.k3)
+	for i := range x {
+		s.xt[i] = x[i] + h*s.k3[i]
+	}
+	sys.Derivative(t+h, s.xt, s.k4)
+	for i := range x {
+		x[i] += h / 6 * (s.k1[i] + 2*s.k2[i] + 2*s.k3[i] + s.k4[i])
+	}
+	if s.stats != nil {
+		s.stats.FEvals += 4
+		s.stats.Steps++
+	}
+	return 0, nil
+}

@@ -1,0 +1,159 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// Trapezoidal is the implicit trapezoidal rule (order 2, A-stable), solved
+// with a damped Newton iteration using a finite-difference Jacobian. It is
+// intended for small stiff circuits (the dense Jacobian costs O(n²) storage
+// and O(n³) factorization per refresh).
+type Trapezoidal struct {
+	stats *Stats
+	// Newton controls.
+	MaxNewton int     // maximum Newton iterations per step (default 25)
+	Tol       float64 // residual infinity-norm tolerance (default 1e-9)
+	// scratch
+	f0, fg, res, xg, xp la.Vector
+	jac                 *la.Dense
+	lu                  *la.LU
+	jacAge              int
+}
+
+// NewTrapezoidal returns an implicit trapezoidal stepper.
+func NewTrapezoidal(stats *Stats) *Trapezoidal {
+	return &Trapezoidal{stats: stats, MaxNewton: 25, Tol: 1e-9}
+}
+
+// Name identifies the method.
+func (s *Trapezoidal) Name() string { return "trapezoidal" }
+
+// Adaptive reports false (no embedded error estimate).
+func (s *Trapezoidal) Adaptive() bool { return false }
+
+// Step solves x1 = x0 + h/2 (F(t,x0) + F(t+h,x1)) for x1 in place.
+func (s *Trapezoidal) Step(sys System, t, h float64, x la.Vector) (float64, error) {
+	if err := validStep(h); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if len(s.f0) != n {
+		s.f0, s.fg = la.NewVector(n), la.NewVector(n)
+		s.res, s.xg = la.NewVector(n), la.NewVector(n)
+		s.xp = la.NewVector(n)
+		s.jac = nil
+	}
+	sys.Derivative(t, x, s.f0)
+	if s.stats != nil {
+		s.stats.FEvals++
+	}
+	// Predictor: explicit Euler.
+	s.xg.CopyFrom(x)
+	s.xg.AXPY(h, s.f0)
+
+	for it := 0; it < s.MaxNewton; it++ {
+		sys.Derivative(t+h, s.xg, s.fg)
+		if s.stats != nil {
+			s.stats.FEvals++
+			s.stats.NewtonIts++
+		}
+		// Residual R(xg) = xg - x - h/2 (f0 + F(t+h, xg)).
+		var rinf float64
+		for i := 0; i < n; i++ {
+			s.res[i] = s.xg[i] - x[i] - 0.5*h*(s.f0[i]+s.fg[i])
+			if a := math.Abs(s.res[i]); a > rinf {
+				rinf = a
+			}
+		}
+		if rinf < s.Tol {
+			x.CopyFrom(s.xg)
+			if s.stats != nil {
+				s.stats.Steps++
+			}
+			return 0, nil
+		}
+		// Refresh the Jacobian lazily (every few iterations or on first use).
+		if s.lu == nil || s.jacAge >= 3 {
+			if err := s.refreshJacobian(sys, t+h, h); err != nil {
+				return 0, err
+			}
+		}
+		s.jacAge++
+		// Newton update: J Δ = -R, with J = I - h/2 ∂F/∂x.
+		delta := s.lu.Solve(s.res)
+		// Damped update with simple backtracking on the residual norm.
+		lambda := 1.0
+		improved := false
+		for try := 0; try < 5; try++ {
+			s.xp.CopyFrom(s.xg)
+			s.xp.AXPY(-lambda, delta)
+			sys.Derivative(t+h, s.xp, s.fg)
+			if s.stats != nil {
+				s.stats.FEvals++
+			}
+			var rNew float64
+			for i := 0; i < n; i++ {
+				r := s.xp[i] - x[i] - 0.5*h*(s.f0[i]+s.fg[i])
+				if a := math.Abs(r); a > rNew {
+					rNew = a
+				}
+			}
+			if rNew < rinf || rNew < s.Tol {
+				s.xg.CopyFrom(s.xp)
+				improved = true
+				break
+			}
+			lambda *= 0.5
+		}
+		if !improved {
+			// Force a fresh Jacobian next round; if that already happened,
+			// give up.
+			if s.jacAge <= 1 {
+				return 0, fmt.Errorf("%w: Newton stalled at t=%g (h=%g)", ErrStepFailure, t, h)
+			}
+			s.lu = nil
+		}
+	}
+	return 0, fmt.Errorf("%w: Newton did not converge in %d iterations at t=%g", ErrStepFailure, s.MaxNewton, t)
+}
+
+// refreshJacobian computes J = I - h/2 ∂F/∂x(t, xg) by forward differences
+// and factorizes it.
+func (s *Trapezoidal) refreshJacobian(sys System, t, h float64) error {
+	n := len(s.xg)
+	if s.jac == nil || s.jac.Rows != n {
+		s.jac = la.NewDense(n, n)
+	}
+	base := la.NewVector(n)
+	sys.Derivative(t, s.xg, base)
+	pert := la.NewVector(n)
+	for j := 0; j < n; j++ {
+		eps := 1e-7 * (1 + math.Abs(s.xg[j]))
+		old := s.xg[j]
+		s.xg[j] = old + eps
+		sys.Derivative(t, s.xg, pert)
+		s.xg[j] = old
+		for i := 0; i < n; i++ {
+			df := (pert[i] - base[i]) / eps
+			v := -0.5 * h * df
+			if i == j {
+				v += 1
+			}
+			s.jac.Set(i, j, v)
+		}
+	}
+	if s.stats != nil {
+		s.stats.JacEvals++
+		s.stats.FEvals += n + 1
+	}
+	lu, err := la.Factorize(s.jac)
+	if err != nil {
+		return fmt.Errorf("%w: singular Newton matrix: %v", ErrStepFailure, err)
+	}
+	s.lu = lu
+	s.jacAge = 0
+	return nil
+}

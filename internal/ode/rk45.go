@@ -1,0 +1,86 @@
+package ode
+
+import (
+	"math"
+
+	"repro/internal/la"
+)
+
+// Cash-Karp 4(5) embedded Runge-Kutta coefficients.
+var (
+	ckA = [6]float64{0, 1.0 / 5, 3.0 / 10, 3.0 / 5, 1, 7.0 / 8}
+	ckB = [6][5]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{3.0 / 10, -9.0 / 10, 6.0 / 5},
+		{-11.0 / 54, 5.0 / 2, -70.0 / 27, 35.0 / 27},
+		{1631.0 / 55296, 175.0 / 512, 575.0 / 13824, 44275.0 / 110592, 253.0 / 4096},
+	}
+	ckC5 = [6]float64{37.0 / 378, 0, 250.0 / 621, 125.0 / 594, 0, 512.0 / 1771}
+	ckC4 = [6]float64{2825.0 / 27648, 0, 18575.0 / 48384, 13525.0 / 55296, 277.0 / 14336, 1.0 / 4}
+)
+
+// RK45 is the Cash-Karp embedded 4(5) Runge-Kutta stepper. Step returns the
+// infinity norm of the embedded error estimate, which the Driver uses for
+// step-size control.
+type RK45 struct {
+	stats *Stats
+	k     [6]la.Vector
+	xt    la.Vector
+	x0    la.Vector
+}
+
+// NewRK45 returns a Cash-Karp stepper.
+func NewRK45(stats *Stats) *RK45 { return &RK45{stats: stats} }
+
+// Name identifies the method.
+func (s *RK45) Name() string { return "rk45" }
+
+// Adaptive reports true: the returned error estimate is meaningful.
+func (s *RK45) Adaptive() bool { return true }
+
+// Step advances x by one Cash-Karp step and returns the max-norm embedded
+// error estimate.
+func (s *RK45) Step(sys System, t, h float64, x la.Vector) (float64, error) {
+	if err := validStep(h); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if len(s.xt) != n {
+		for i := range s.k {
+			s.k[i] = la.NewVector(n)
+		}
+		s.xt = la.NewVector(n)
+		s.x0 = la.NewVector(n)
+	}
+	s.x0.CopyFrom(x)
+	sys.Derivative(t, x, s.k[0])
+	for stage := 1; stage < 6; stage++ {
+		s.xt.CopyFrom(s.x0)
+		for j := 0; j < stage; j++ {
+			if b := ckB[stage][j]; b != 0 {
+				s.xt.AXPY(h*b, s.k[j])
+			}
+		}
+		sys.Derivative(t+ckA[stage]*h, s.xt, s.k[stage])
+	}
+	var errInf float64
+	for i := 0; i < n; i++ {
+		var d5, d4 float64
+		for stage := 0; stage < 6; stage++ {
+			ki := s.k[stage][i]
+			d5 += ckC5[stage] * ki
+			d4 += ckC4[stage] * ki
+		}
+		x[i] = s.x0[i] + h*d5
+		if e := math.Abs(h * (d5 - d4)); e > errInf {
+			errInf = e
+		}
+	}
+	if s.stats != nil {
+		s.stats.FEvals += 6
+		s.stats.Steps++
+	}
+	return errInf, nil
+}

@@ -1,0 +1,92 @@
+package sat
+
+import (
+	"math/rand"
+
+	"repro/internal/boolcirc"
+)
+
+// WalkSAT runs the classic stochastic local search: start from a random
+// assignment, repeatedly pick an unsatisfied clause and flip either a
+// random variable in it (with probability noise) or the variable whose
+// flip minimizes newly broken clauses. It is incomplete: Unknown after
+// maxFlips does not imply unsatisfiability.
+func WalkSAT(f boolcirc.CNF, maxFlips int, noise float64, rng *rand.Rand) Result {
+	n := f.NumVars
+	assign := make([]bool, n)
+	for v := range assign {
+		assign[v] = rng.Intn(2) == 1
+	}
+	res := Result{}
+	satCl := func(cl boolcirc.Clause) bool {
+		for _, l := range cl {
+			v := int(l)
+			if v < 0 {
+				v = -v
+			}
+			if (l > 0) == assign[v-1] {
+				return true
+			}
+		}
+		return false
+	}
+	unsatisfied := func() (boolcirc.Clause, bool) {
+		// Reservoir-sample one unsatisfied clause.
+		var pick boolcirc.Clause
+		count := 0
+		for _, cl := range f.Clauses {
+			if !satCl(cl) {
+				count++
+				if rng.Intn(count) == 0 {
+					pick = cl
+				}
+			}
+		}
+		return pick, count > 0
+	}
+	breakCount := func(v int) int {
+		// Clauses satisfied now that would break if v flips.
+		assign[v] = !assign[v]
+		broken := 0
+		for _, cl := range f.Clauses {
+			if !satCl(cl) {
+				broken++
+			}
+		}
+		assign[v] = !assign[v]
+		return broken
+	}
+	for flip := 0; flip < maxFlips; flip++ {
+		cl, any := unsatisfied()
+		if !any {
+			res.Status = Satisfiable
+			res.Assignment = assign
+			return res
+		}
+		var v int
+		if rng.Float64() < noise {
+			l := cl[rng.Intn(len(cl))]
+			v = int(l)
+		} else {
+			best, bestBreak := 0, 1<<30
+			for _, l := range cl {
+				cand := int(l)
+				if cand < 0 {
+					cand = -cand
+				}
+				if b := breakCount(cand - 1); b < bestBreak {
+					bestBreak = b
+					best = cand
+				}
+			}
+			v = best
+		}
+		if v < 0 {
+			v = -v
+		}
+		assign[v-1] = !assign[v-1]
+		res.Decisions++
+	}
+	res.Status = Unknown
+	return res
+}

@@ -1,0 +1,78 @@
+package solc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+	"repro/internal/sat"
+)
+
+func TestSolveCNFSimple(t *testing.T) {
+	// (x1 ∨ ¬x2) ∧ (x2 ∨ x3) ∧ (¬x1 ∨ ¬x3)
+	f := boolcirc.CNF{NumVars: 3, Clauses: []boolcirc.Clause{
+		{1, -2}, {2, 3}, {-1, -3},
+	}}
+	opts := DefaultOptions()
+	opts.TEnd = 100
+	res, err := SolveCNF(f, circuit.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("not solved: %s", res.Result.Reason)
+	}
+	if !f.Satisfied(res.Assignment) {
+		t.Fatal("assignment does not satisfy formula")
+	}
+}
+
+func TestSolveCNFRandom3SATAgainstDPLL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamical run")
+	}
+	rng := rand.New(rand.NewSource(42))
+	// A small under-constrained random 3-SAT instance (clause ratio 3):
+	// satisfiable with overwhelming probability; DPLL cross-checks.
+	nv, nc := 6, 18
+	f := boolcirc.CNF{NumVars: nv}
+	for c := 0; c < nc; c++ {
+		seen := map[int]bool{}
+		var clause boolcirc.Clause
+		for len(clause) < 3 {
+			v := 1 + rng.Intn(nv)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := boolcirc.Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			clause = append(clause, l)
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	dp := sat.DPLL(f, 0)
+	if dp.Status != sat.Satisfiable {
+		t.Skip("random instance happened to be UNSAT")
+	}
+	opts := DefaultOptions()
+	opts.TEnd = 150
+	opts.MaxAttempts = 4
+	res, err := SolveCNF(f, circuit.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("SOLC missed a satisfiable 3-SAT instance: %s", res.Result.Reason)
+	}
+}
+
+func TestSolveCNFRejectsEmptyClause(t *testing.T) {
+	f := boolcirc.CNF{NumVars: 1, Clauses: []boolcirc.Clause{{}}}
+	if _, err := SolveCNF(f, circuit.Default(), DefaultOptions()); err == nil {
+		t.Fatal("empty clause should error")
+	}
+}

@@ -1,0 +1,284 @@
+// Package solc compiles boolean circuits onto self-organizing logic
+// circuits and runs them in solution mode: the inverse protocol of
+// Sec. III-C. Pinned output bits are imposed by ramped DC generators, every
+// other signal node carries a VCDCG, and the compiled dynamical system is
+// integrated until it self-organizes into a configuration satisfying every
+// gate — which is then decoded, independently re-verified against the
+// boolean circuit, and returned.
+package solc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+	"repro/internal/la"
+	"repro/internal/ode"
+	"repro/internal/solg"
+)
+
+// Compiled couples a boolean circuit with its SOLC realization.
+type Compiled struct {
+	BC  *boolcirc.Circuit
+	Eng circuit.Engine
+	// NodeOf maps each boolean signal to its circuit node.
+	NodeOf []circuit.Node
+	// Pins holds the imposed bits (constants plus caller pins).
+	Pins map[boolcirc.Signal]bool
+}
+
+// Mode selects the dynamical form the boolean circuit is compiled to.
+type Mode int
+
+// Compilation modes.
+const (
+	// ModeQuasiStatic eliminates node voltages algebraically (the paper's
+	// order-reduced DAE form; fastest and the default).
+	ModeQuasiStatic Mode = iota
+	// ModeCapacitive keeps node voltages as ODE states with an explicit
+	// node-to-ground capacitance (the ablation comparator).
+	ModeCapacitive
+)
+
+// opKind maps boolean ops onto self-organizing gate kinds.
+func opKind(op boolcirc.Op) solg.Kind {
+	switch op {
+	case boolcirc.And:
+		return solg.AND
+	case boolcirc.Or:
+		return solg.OR
+	case boolcirc.Xor:
+		return solg.XOR
+	case boolcirc.Nand:
+		return solg.NAND
+	case boolcirc.Nor:
+		return solg.NOR
+	case boolcirc.Xnor:
+		return solg.XNOR
+	case boolcirc.Not:
+		return solg.NOT
+	}
+	panic("solc: unknown op")
+}
+
+// Compile maps every boolean signal to a circuit node, every gate to a
+// self-organizing gate, and pins the circuit constants plus the
+// caller-imposed bits (the control unit's input b of the inverse
+// protocol). It uses the capacitive engine, which the default IMEX
+// integrator requires; see CompileMode.
+func Compile(bc *boolcirc.Circuit, pins map[boolcirc.Signal]bool, p circuit.Params) *Compiled {
+	return CompileMode(bc, pins, p, ModeCapacitive)
+}
+
+// CompileMode is Compile with an explicit choice of dynamical form.
+func CompileMode(bc *boolcirc.Circuit, pins map[boolcirc.Signal]bool, p circuit.Params, mode Mode) *Compiled {
+	b := circuit.NewBuilder(p)
+	nodeOf := make([]circuit.Node, bc.NumSignals())
+	for s := range nodeOf {
+		nodeOf[s] = b.Node()
+	}
+	for _, g := range bc.Gates {
+		if g.Op == boolcirc.Not {
+			b.AddNot(nodeOf[g.A], nodeOf[g.Out])
+			continue
+		}
+		b.AddGate(opKind(g.Op), nodeOf[g.A], nodeOf[g.B], nodeOf[g.Out])
+	}
+	all := make(map[boolcirc.Signal]bool)
+	for s, v := range bc.Constants() {
+		all[s] = v
+	}
+	for s, v := range pins {
+		all[s] = v
+	}
+	for s, v := range all {
+		b.PinBit(nodeOf[s], v)
+	}
+	var eng circuit.Engine
+	if mode == ModeCapacitive {
+		eng = b.Build()
+	} else {
+		eng = b.BuildQS()
+	}
+	return &Compiled{BC: bc, Eng: eng, NodeOf: nodeOf, Pins: all}
+}
+
+// Options tunes the solution-mode integration.
+type Options struct {
+	// H, HMax, Tol configure the adaptive integrator (zero values select
+	// defaults suited to circuit.Default parameters).
+	H, HMax, Tol float64
+	// TEnd is the per-attempt time horizon in circuit time units.
+	TEnd float64
+	// ConvTol is the voltage tolerance for calling a node ±vc.
+	ConvTol float64
+	// MaxAttempts bounds the number of random restarts.
+	MaxAttempts int
+	// Seed seeds the initial-condition generator.
+	Seed int64
+	// Stepper selects the integration method: "imex" (default, requires
+	// ModeCapacitive compilation), "rk45", "rk4", "heun", "euler",
+	// "trapezoidal".
+	Stepper string
+	// Observe, when non-nil, receives every accepted step's time and node
+	// voltages (for trajectory recording).
+	Observe func(t float64, nodeV la.Vector)
+}
+
+// DefaultOptions returns solver settings tuned for circuit.Default.
+func DefaultOptions() Options {
+	return Options{
+		H: 1e-3, HMax: 1e-1, Tol: 1e-6,
+		TEnd:        200,
+		ConvTol:     0.02,
+		MaxAttempts: 3,
+		Seed:        1,
+		Stepper:     "imex",
+	}
+}
+
+// Result reports a solution-mode run.
+type Result struct {
+	// Solved is true when the SOLC reached a verified logic equilibrium.
+	Solved bool
+	// Assignment is the decoded full signal assignment (valid when Solved).
+	Assignment boolcirc.Assignment
+	// T is the dynamical time at which the last attempt stopped.
+	T float64
+	// Attempts is the number of initial conditions tried.
+	Attempts int
+	// Steps is the total number of accepted integration steps.
+	Steps int
+	// Wall is the elapsed wall-clock time.
+	Wall time.Duration
+	// Energy is the dissipated energy ∫Σ g·d² dt accumulated across all
+	// attempts (populated by the IMEX stepper; 0 otherwise).
+	Energy float64
+	// Reason describes why the run ended.
+	Reason string
+}
+
+// newStepper builds the requested integration method. eng is consulted
+// for the IMEX stepper, which is bound to a capacitive circuit.
+func newStepper(name string, stats *ode.Stats, eng circuit.Engine) (ode.Stepper, error) {
+	switch name {
+	case "", "imex":
+		c, ok := eng.(*circuit.Circuit)
+		if !ok {
+			return nil, fmt.Errorf("solc: stepper %q requires the capacitive engine (ModeCapacitive)", "imex")
+		}
+		return circuit.NewIMEX(c, stats), nil
+	case "rk45":
+		return ode.NewRK45(stats), nil
+	case "rk4":
+		return ode.NewRK4(stats), nil
+	case "heun":
+		return ode.NewHeun(stats), nil
+	case "euler":
+		return ode.NewEuler(stats), nil
+	case "trapezoidal":
+		return ode.NewTrapezoidal(stats), nil
+	}
+	return nil, fmt.Errorf("solc: unknown stepper %q", name)
+}
+
+// Solve runs solution mode: integrate from random initial conditions until
+// the circuit self-organizes, decoding and verifying the result. Failed
+// attempts (time horizon reached without a verified equilibrium) restart
+// from a fresh initial condition, as the multi-step inverse protocol of
+// Sec. IV-E allows.
+func (cs *Compiled) Solve(opts Options) (Result, error) {
+	if opts.H <= 0 {
+		opts.H = 1e-3
+	}
+	if opts.HMax <= 0 {
+		opts.HMax = 1e-1
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.TEnd <= 0 {
+		opts.TEnd = 200
+	}
+	if opts.ConvTol <= 0 {
+		opts.ConvTol = 0.02
+	}
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = 1
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	stats := &ode.Stats{}
+	c := cs.Eng
+	res := Result{}
+	var nodeVBuf la.Vector
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		stepper, err := newStepper(opts.Stepper, stats, c)
+		if err != nil {
+			return Result{}, err
+		}
+		x := c.InitialState(rng)
+		driver := &ode.Driver{
+			Stepper: stepper,
+			H:       opts.H, HMax: opts.HMax, Tol: opts.Tol,
+			TEnd: opts.TEnd,
+			Observe: func(t float64, x la.Vector) {
+				c.ClampState(x)
+				if opts.Observe != nil {
+					nodeVBuf = c.NodeVoltages(t, x, nodeVBuf)
+					opts.Observe(t, nodeVBuf)
+				}
+			},
+			Stop: func(t float64, x la.Vector) bool {
+				return t > c.Parameters().TRise && c.Converged(t, x, opts.ConvTol)
+			},
+		}
+		run := driver.Run(c, 0, x)
+		res.Attempts = attempt + 1
+		res.T = run.T
+		res.Steps = stats.Steps
+		res.Wall = time.Since(start)
+		if im, ok := stepper.(*circuit.IMEXStepper); ok {
+			res.Energy += im.Energy()
+		}
+		switch run.Reason {
+		case ode.StopCondition:
+			assign := cs.Decode(run.T, x)
+			if cs.BC.Satisfied(assign) && cs.pinsRespected(assign) {
+				res.Solved = true
+				res.Assignment = assign
+				res.Reason = "converged"
+				return res, nil
+			}
+			res.Reason = "decoded assignment failed verification"
+		case ode.StopTEnd:
+			res.Reason = "time horizon reached"
+		case ode.StopError:
+			res.Reason = fmt.Sprintf("integration failure: %v", run.Err)
+		default:
+			res.Reason = run.Reason.String()
+		}
+	}
+	return res, nil
+}
+
+// Decode reads the logic value of every boolean signal from the state.
+func (cs *Compiled) Decode(t float64, x la.Vector) boolcirc.Assignment {
+	nodeV := cs.Eng.NodeVoltages(t, x, nil)
+	assign := make(boolcirc.Assignment, len(cs.NodeOf))
+	for s, n := range cs.NodeOf {
+		assign[s] = nodeV[n] > 0
+	}
+	return assign
+}
+
+func (cs *Compiled) pinsRespected(a boolcirc.Assignment) bool {
+	for s, v := range cs.Pins {
+		if a[s] != v {
+			return false
+		}
+	}
+	return true
+}

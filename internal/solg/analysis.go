@@ -1,0 +1,117 @@
+package solg
+
+import "fmt"
+
+// This file provides the static analysis of a gate's DCMs used by the
+// Table I verification tests and the Fig. 4 experiment: given a fixed
+// voltage configuration at the terminals, it predicts the equilibrium
+// branch states and the resulting net terminal currents.
+
+// ConfigReport describes the static behaviour of one gate at one terminal
+// voltage configuration.
+type ConfigReport struct {
+	// V is the configuration (v1, v2, vo) in volts.
+	V [3]float64
+	// Correct reports whether the configuration satisfies the gate.
+	Correct bool
+	// NetCurrent[t] is the net current out of terminal t with every weak
+	// memristor saturated at Roff and every strong memristor at Ron.
+	NetCurrent []float64
+	// StrongBranches counts, per terminal, the memristor branches driven
+	// into the strong (Ron) corrective state.
+	StrongBranches []int
+}
+
+// Analyze evaluates the gate at a logic configuration. bits lists the
+// terminal logic values in terminal order (inputs..., output); vc, ron,
+// roff are the electrical parameters.
+func (g *Gate) Analyze(bits []bool, vc, ron, roff float64) ConfigReport {
+	nt := g.Kind.Terminals()
+	if len(bits) != nt {
+		panic("solg: Analyze needs one bit per terminal")
+	}
+	var v [3]float64
+	v[1] = -vc // NOT leaves the v2 slot parked at logic 0
+	for t, b := range bits {
+		v[terminalIndex(g.Kind, t)] = logicV(b) * vc
+	}
+	in := bits[:nt-1]
+	rep := ConfigReport{
+		V:              v,
+		Correct:        g.Kind.Eval(in...) == bits[nt-1],
+		NetCurrent:     make([]float64, nt),
+		StrongBranches: make([]int, nt),
+	}
+	for t := 0; t < nt; t++ {
+		slot := terminalIndex(g.Kind, t)
+		vt := v[slot]
+		for _, br := range g.DCMs[t].Branches {
+			d := vt - br.L.Eval(v[0], v[1], v[2])
+			switch {
+			case !br.Mem:
+				rep.NetCurrent[t] += d / roff
+			case br.Sigma*d > 1e-12:
+				// Strong: the memristor is driven to x = 0 (Ron).
+				rep.NetCurrent[t] += d / ron
+				rep.StrongBranches[t]++
+			default:
+				// Weak: x = 1 (Roff); zero-drop branches carry nothing
+				// either way.
+				rep.NetCurrent[t] += d / roff
+			}
+		}
+	}
+	return rep
+}
+
+// VerifyContract checks the Sec. V-C gate contract over all 2^terminals
+// configurations: correct configurations must draw (near-)zero net current
+// from every terminal with no strong branches; incorrect configurations
+// must drive at least one branch strong somewhere. It returns a list of
+// violations (empty when the gate is well-formed).
+func (g *Gate) VerifyContract(vc, ron, roff float64) []string {
+	var violations []string
+	nt := g.Kind.Terminals()
+	for m := 0; m < 1<<nt; m++ {
+		bits := make([]bool, nt)
+		for t := range bits {
+			bits[t] = m&(1<<t) != 0
+		}
+		rep := g.Analyze(bits, vc, ron, roff)
+		if rep.Correct {
+			for t, i := range rep.NetCurrent {
+				if abs(i) > 1e-9 {
+					violations = append(violations,
+						sprintf("%v %v: correct config has terminal %d current %g", g.Kind, bits, t, i))
+				}
+			}
+			for t, n := range rep.StrongBranches {
+				if n != 0 {
+					violations = append(violations,
+						sprintf("%v %v: correct config drives %d strong branches at terminal %d", g.Kind, bits, n, t))
+				}
+			}
+		} else {
+			total := 0
+			for _, n := range rep.StrongBranches {
+				total += n
+			}
+			if total == 0 {
+				violations = append(violations,
+					sprintf("%v %v: incorrect config has no corrective branch", g.Kind, bits))
+			}
+		}
+	}
+	return violations
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

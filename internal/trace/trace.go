@@ -1,0 +1,121 @@
+// Package trace records node-voltage trajectories during SOLC integration
+// and renders them as CSV or compact ASCII charts — the repository's
+// stand-in for the paper's Figs. 12, 13 and 15 voltage plots.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Recorder accumulates sampled trajectories for a fixed set of series.
+type Recorder struct {
+	Labels []string
+	T      []float64
+	Series [][]float64 // Series[k][i] = value of series k at T[i]
+	// Every controls downsampling: one stored sample per Every appended
+	// points (1 = keep all).
+	Every int
+	count int
+}
+
+// NewRecorder creates a recorder for len(labels) series, keeping every
+// `every`-th sample.
+func NewRecorder(labels []string, every int) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{
+		Labels: labels,
+		Series: make([][]float64, len(labels)),
+		Every:  every,
+	}
+}
+
+// Append records one time point. vals must have one entry per series.
+func (r *Recorder) Append(t float64, vals []float64) {
+	r.count++
+	if (r.count-1)%r.Every != 0 {
+		return
+	}
+	if len(vals) != len(r.Series) {
+		panic(fmt.Sprintf("trace: %d values for %d series", len(vals), len(r.Series)))
+	}
+	r.T = append(r.T, t)
+	for k, v := range vals {
+		r.Series[k] = append(r.Series[k], v)
+	}
+}
+
+// Len returns the number of stored samples.
+func (r *Recorder) Len() int { return len(r.T) }
+
+// WriteCSV emits a header row and one row per sample.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "t,%s\n", strings.Join(r.Labels, ",")); err != nil {
+		return err
+	}
+	for i, t := range r.T {
+		if _, err := fmt.Fprintf(bw, "%g", t); err != nil {
+			return err
+		}
+		for k := range r.Series {
+			if _, err := fmt.Fprintf(bw, ",%g", r.Series[k][i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Sparkline renders one series as a fixed-width ASCII strip between lo and
+// hi (values outside are clipped).
+func (r *Recorder) Sparkline(series, width int, lo, hi float64) string {
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	if len(r.T) == 0 || width < 1 {
+		return ""
+	}
+	vals := r.Series[series]
+	out := make([]rune, width)
+	for i := 0; i < width; i++ {
+		// Nearest sample for this column.
+		j := i * (len(vals) - 1) / maxInt(width-1, 1)
+		v := vals[j]
+		u := (v - lo) / (hi - lo)
+		if math.IsNaN(u) {
+			u = 0
+		}
+		u = math.Min(1, math.Max(0, u))
+		out[i] = ramp[int(u*float64(len(ramp)-1)+0.5)]
+	}
+	return string(out)
+}
+
+// RenderASCII renders every series as labelled sparklines.
+func (r *Recorder) RenderASCII(width int, lo, hi float64) string {
+	var sb strings.Builder
+	labelW := 0
+	for _, l := range r.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for k, l := range r.Labels {
+		fmt.Fprintf(&sb, "%-*s %s\n", labelW, l, r.Sparkline(k, width, lo, hi))
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

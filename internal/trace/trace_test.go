@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderAppendAndDownsample(t *testing.T) {
+	r := NewRecorder([]string{"a", "b"}, 2)
+	for i := 0; i < 10; i++ {
+		r.Append(float64(i), []float64{float64(i), -float64(i)})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 (every 2nd)", r.Len())
+	}
+	if r.T[0] != 0 || r.T[1] != 2 {
+		t.Fatalf("downsampling kept wrong samples: %v", r.T[:2])
+	}
+	if r.Series[1][2] != -4 {
+		t.Fatalf("series value wrong: %v", r.Series[1])
+	}
+}
+
+func TestRecorderAppendMismatch(t *testing.T) {
+	r := NewRecorder([]string{"a"}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong value count")
+		}
+	}()
+	r.Append(0, []float64{1, 2})
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder([]string{"x", "y"}, 1)
+	r.Append(0, []float64{1, 2})
+	r.Append(0.5, []float64{3, 4})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d", len(lines))
+	}
+	if lines[0] != "t,x,y" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[2] != "0.5,3,4" {
+		t.Fatalf("row %q", lines[2])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	r := NewRecorder([]string{"v"}, 1)
+	for i := 0; i <= 10; i++ {
+		r.Append(float64(i), []float64{float64(i) / 10})
+	}
+	s := r.Sparkline(0, 8, 0, 1)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("width %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] == runes[7] {
+		t.Fatal("ramp should start low and end high")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	r := NewRecorder([]string{"p0", "q0"}, 1)
+	r.Append(0, []float64{-1, 1})
+	r.Append(1, []float64{1, -1})
+	out := r.RenderASCII(10, -1, 1)
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "q0") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatal("expected two rows")
+	}
+}
+
+func TestSparklineEmpty(t *testing.T) {
+	r := NewRecorder([]string{"v"}, 1)
+	if s := r.Sparkline(0, 8, 0, 1); s != "" {
+		t.Fatalf("empty recorder should render empty string, got %q", s)
+	}
+}
