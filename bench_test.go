@@ -233,6 +233,37 @@ func BenchmarkScalingSubsetSum(b *testing.B) {
 	}
 }
 
+// ---- Parallel restart portfolio (internal/solc pool) ----
+
+// BenchmarkParallelRestarts races the same four-restart factorization of
+// n=35 sequentially and on the concurrent pool. Seed 1 makes attempt 0
+// converge slowly (t* ≈ 24) while attempt 3 converges fast (t* ≈ 5), so
+// the first-done racing policy wins wall-clock even on a single core:
+// the fast attempt cancels the slow ones instead of waiting behind them.
+func BenchmarkParallelRestarts(b *testing.B) {
+	run := func(b *testing.B, parallelism int, firstWin bool) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 1
+		cfg.TEnd = 150
+		cfg.MaxAttempts = 4
+		cfg.Parallelism = parallelism
+		cfg.FirstWin = firstWin
+		for i := 0; i < b.N; i++ {
+			fz := core.NewFactorizer(cfg)
+			res, err := fz.Factor(35)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Solved {
+				b.Fatalf("no convergence (%s)", res.Reason)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1, false) })
+	b.Run("parallel-4-deterministic", func(b *testing.B) { run(b, 4, false) })
+	b.Run("parallel-4-first-win", func(b *testing.B) { run(b, 4, true) })
+}
+
 // ---- Direct-protocol baselines ----
 
 func BenchmarkBaselineDPLLFactor35(b *testing.B) {

@@ -25,11 +25,13 @@ func main() {
 	attempts := flag.Int("attempts", 4, "random restarts per instance")
 	seeds := flag.Int("seeds", 4, "ensemble size for scaling/ensemble experiments")
 	bitsFlag := flag.String("bits", "6,8", "bit widths for scaling-factor")
+	parallel := flag.Int("parallel", 0, "worker-pool width for ensembles and raced restarts (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.TEnd = *tEnd
 	cfg.MaxAttempts = *attempts
+	cfg.Parallelism = *parallel
 
 	var bits []int
 	for _, tok := range strings.Split(*bitsFlag, ",") {

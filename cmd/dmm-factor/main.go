@@ -4,14 +4,18 @@
 // Usage:
 //
 //	dmm-factor -n 35 [-seed 1] [-tend 150] [-attempts 4] [-trace]
+//	dmm-factor -n 143 -attempts 8 -parallel 4 [-first-win] [-deadline 30s]
+//	dmm-factor -n 35 -portfolio
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/solc"
 	"repro/internal/trace"
 )
 
@@ -20,6 +24,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "initial-condition seed")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon")
 	attempts := flag.Int("attempts", 4, "random restarts")
+	parallel := flag.Int("parallel", 1, "concurrently raced restarts (0 = GOMAXPROCS)")
+	firstWin := flag.Bool("first-win", false, "first verified winner cancels all attempts (fastest, nondeterministic winner)")
+	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
+	portfolio := flag.Bool("portfolio", false, "race the heterogeneous solver portfolio (IMEX-capacitive vs RK45-quasistatic)")
 	showTrace := flag.Bool("trace", false, "render factor-bit voltage trajectories")
 	flag.Parse()
 
@@ -27,6 +35,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TEnd = *tEnd
 	cfg.MaxAttempts = *attempts
+	cfg.Parallelism = *parallel
+	cfg.FirstWin = *firstWin
+	cfg.Deadline = *deadline
+	if *portfolio {
+		cfg.Portfolio = solc.DefaultPortfolio()
+	}
 	if *showTrace {
 		np, nq := core.WordSizes(core.BitLen(*n))
 		cfg.TraceNodes = np + nq
@@ -42,6 +56,10 @@ func main() {
 	if res.Solved {
 		fmt.Printf("self-organized: %d = %d × %d (t* = %.2f)\n",
 			*n, res.P, res.Q, res.Metrics.ConvergenceTime)
+		if *parallel != 1 || *portfolio {
+			fmt.Printf("pool: launched=%d cancelled=%d\n",
+				res.Metrics.Launched, res.Metrics.Cancelled)
+		}
 	} else {
 		fmt.Printf("no equilibrium reached (%s) — expected when n is prime (Fig. 13)\n", res.Reason)
 	}

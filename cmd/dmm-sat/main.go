@@ -6,6 +6,7 @@
 //
 //	dmm-sat -f formula.cnf [-tend 150] [-attempts 4] [-seed 1]
 //	dmm-sat -random-vars 6 -random-clauses 18
+//	dmm-sat -random-vars 8 -random-clauses 24 -parallel 4 -portfolio
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/boolcirc"
 	"repro/internal/circuit"
@@ -27,6 +29,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "initial-condition seed")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon")
 	attempts := flag.Int("attempts", 4, "random restarts")
+	parallel := flag.Int("parallel", 1, "concurrently raced restarts (0 = GOMAXPROCS)")
+	firstWin := flag.Bool("first-win", false, "first verified winner cancels all attempts")
+	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
+	portfolio := flag.Bool("portfolio", false, "race the heterogeneous solver portfolio across restarts")
 	flag.Parse()
 
 	var f boolcirc.CNF
@@ -72,14 +78,25 @@ func main() {
 	opts.Seed = *seed
 	opts.TEnd = *tEnd
 	opts.MaxAttempts = *attempts
-	res, err := solc.SolveCNF(f, circuit.Default(), opts)
+	opts.Parallelism = *parallel
+	opts.Deadline = *deadline
+	if *firstWin {
+		opts.Policy = solc.WinnerFirstDone
+	}
+	var res solc.SATResult
+	var err error
+	if *portfolio {
+		res, err = solc.SolveCNFPortfolio(f, circuit.Default(), solc.DefaultPortfolio(), opts)
+	} else {
+		res, err = solc.SolveCNF(f, circuit.Default(), opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmm-sat:", err)
 		os.Exit(1)
 	}
 	if res.Solved {
-		fmt.Printf("SOLC: SAT in t* = %.2f (attempts %d, wall %v)\nassignment:",
-			res.Result.T, res.Result.Attempts, res.Result.Wall)
+		fmt.Printf("SOLC: SAT in t* = %.2f (attempts %d, winner %s, wall %v)\nassignment:",
+			res.Result.T, res.Result.Attempts, res.Result.WinnerMember, res.Result.Wall)
 		for v, val := range res.Assignment {
 			lit := v + 1
 			if !val {

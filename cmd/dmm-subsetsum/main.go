@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dmm-subsetsum -values 3,5,6 -target 8 [-seed 1] [-tend 150]
+//	dmm-subsetsum -values 3,5,9,13 -target 18 -parallel 4 [-deadline 30s]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/classical"
 	"repro/internal/core"
@@ -24,6 +26,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "initial-condition seed")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon")
 	attempts := flag.Int("attempts", 4, "random restarts")
+	parallel := flag.Int("parallel", 1, "concurrently raced restarts (0 = GOMAXPROCS)")
+	firstWin := flag.Bool("first-win", false, "first verified winner cancels all attempts")
+	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
 	flag.Parse()
 
 	var values []uint64
@@ -40,6 +45,9 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TEnd = *tEnd
 	cfg.MaxAttempts = *attempts
+	cfg.Parallelism = *parallel
+	cfg.FirstWin = *firstWin
+	cfg.Deadline = *deadline
 	ss := core.NewSubsetSum(cfg)
 	res, err := ss.Solve(values, *target)
 	if err != nil {

@@ -1,0 +1,144 @@
+package boolcirc
+
+import (
+	"testing"
+)
+
+// buildFuzzCircuit decodes a byte string into a random combinational
+// circuit: data[0] picks the input count, data[1] the input values, and
+// every following 3-byte chunk appends one gate (op, operand a, operand b)
+// over the signals allocated so far.
+func buildFuzzCircuit(data []byte) (*Circuit, []bool, Signal, bool) {
+	if len(data) < 2 {
+		return nil, nil, 0, false
+	}
+	nIn := 1 + int(data[0]%5)
+	bc := New()
+	sigs := bc.NewSignals(nIn)
+	bc.MarkInput(sigs...)
+	inputs := make([]bool, nIn)
+	for i := range inputs {
+		inputs[i] = data[1]>>uint(i)&1 == 1
+	}
+	last := sigs[0]
+	chunks := data[2:]
+	for g := 0; g+3 <= len(chunks) && g < 3*24; g += 3 {
+		op, ai, bi := chunks[g], chunks[g+1], chunks[g+2]
+		n := Signal(bc.NumSignals())
+		a, b := Signal(ai)%n, Signal(bi)%n
+		switch op % 7 {
+		case 0:
+			last = bc.And(a, b)
+		case 1:
+			last = bc.Or(a, b)
+		case 2:
+			last = bc.Xor(a, b)
+		case 3:
+			last = bc.Nand(a, b)
+		case 4:
+			last = bc.Nor(a, b)
+		case 5:
+			last = bc.Xnor(a, b)
+		case 6:
+			last = bc.Not(a)
+		}
+	}
+	return bc, inputs, last, true
+}
+
+// clausesSatisfied checks a full assignment against every clause of a CNF.
+func clausesSatisfied(f CNF, a Assignment) bool {
+	for _, cl := range f.Clauses {
+		sat := false
+		for _, l := range cl {
+			v := int(l)
+			neg := v < 0
+			if neg {
+				v = -v
+			}
+			if a[v-1] != neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzCNFRoundTrip asserts the CNF pipeline is self-consistent on arbitrary
+// circuits: a forward evaluation satisfies the Tseitin encoding, flipping
+// the pinned output falsifies it, and rebuilding a circuit from the CNF
+// (FromCNF) yields clause outputs that all evaluate true under the same
+// assignment.
+func FuzzCNFRoundTrip(f *testing.F) {
+	// XOR of two inputs.
+	f.Add([]byte{1, 0b01, 2, 0, 1})
+	// Full adder: s = a⊕b⊕cin, cout = (a∧b)∨((a⊕b)∧cin).
+	f.Add([]byte{2, 0b011,
+		2, 0, 1, // t1  = a ⊕ b      (signal 3)
+		2, 3, 2, // s   = t1 ⊕ cin   (signal 4)
+		0, 0, 1, // t2  = a ∧ b      (signal 5)
+		0, 3, 2, // t3  = t1 ∧ cin   (signal 6)
+		1, 5, 6, // cout = t2 ∨ t3   (signal 7)
+	})
+	// NOT chain and a degenerate single-input circuit.
+	f.Add([]byte{0, 0b1, 6, 0, 0, 6, 1, 0})
+	f.Add([]byte{0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bc, inputs, last, ok := buildFuzzCircuit(data)
+		if !ok {
+			return
+		}
+		asg, err := bc.Eval(inputs)
+		if err != nil {
+			t.Fatalf("Eval failed on a well-formed circuit: %v", err)
+		}
+		if !bc.Satisfied(asg) {
+			t.Fatal("Eval produced an assignment Satisfied rejects")
+		}
+
+		pins := map[Signal]bool{last: asg[last]}
+		cnf := bc.ToCNF(pins)
+		if cnf.NumVars != bc.NumSignals() {
+			t.Fatalf("CNF has %d vars for %d signals", cnf.NumVars, bc.NumSignals())
+		}
+		if !clausesSatisfied(cnf, asg) {
+			t.Fatal("forward evaluation violates its own Tseitin encoding")
+		}
+
+		// Flipping the pinned bit must falsify the encoding (the pin's
+		// unit clause if nothing else).
+		flipped := append(Assignment{}, asg...)
+		flipped[last] = !flipped[last]
+		if clausesSatisfied(cnf, flipped) {
+			t.Fatal("pin flip still satisfies the CNF — pin clause missing")
+		}
+
+		// Round trip: rebuild a circuit from the CNF; under the original
+		// assignment every clause output must evaluate true.
+		c2, vars, clauseOuts, err := FromCNF(cnf)
+		if err != nil {
+			t.Fatalf("FromCNF rejected a generated CNF: %v", err)
+		}
+		if len(vars) != cnf.NumVars {
+			t.Fatalf("FromCNF returned %d vars for %d CNF vars", len(vars), cnf.NumVars)
+		}
+		if len(clauseOuts) != len(cnf.Clauses) {
+			t.Fatalf("FromCNF returned %d clause outputs for %d clauses", len(clauseOuts), len(cnf.Clauses))
+		}
+		c2.MarkInput(vars...)
+		asg2, err := c2.Eval([]bool(asg))
+		if err != nil {
+			t.Fatalf("round-trip Eval failed: %v", err)
+		}
+		for i, s := range clauseOuts {
+			if !asg2[s] {
+				t.Fatalf("clause %d evaluates false under a satisfying assignment", i)
+			}
+		}
+	})
+}

@@ -20,6 +20,35 @@ type Engine interface {
 	Parameters() Params
 	NumGates() int
 	Counts() (freeNodes, memristors, vcdcgs int)
+	// Clone returns an engine over the same compiled circuit with private
+	// scratch buffers, safe to integrate concurrently with the receiver.
+	Clone() Engine
+}
+
+// Clone shares the compiled topology (gates, branches, pins — all
+// read-only during integration) and reallocates only the evaluation
+// scratch, so concurrent attempts never write a common la.Vector.
+func (c *Circuit) Clone() Engine {
+	cp := *c
+	cp.nodeV = la.NewVector(c.numNodes)
+	cp.curr = la.NewVector(c.numNodes)
+	return &cp
+}
+
+// Clone duplicates the engine with a private Kirchhoff solve workspace and
+// an empty factorization cache.
+func (q *QuasiStatic) Clone() Engine {
+	cq := *q
+	cq.C = q.C.Clone().(*Circuit)
+	cq.gCache = la.NewVector(q.C.nm)
+	cq.gNow = la.NewVector(q.C.nm)
+	cq.aMat = la.NewDense(q.C.nv, q.C.nv)
+	cq.rhs = la.NewVector(q.C.nv)
+	cq.nodeV = la.NewVector(q.C.numNodes)
+	cq.lu = nil
+	cq.haveLU = false
+	cq.Refacts = 0
+	return &cq
 }
 
 // Parameters returns the electrical parameters (Engine interface).

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/boolcirc"
 	"repro/internal/circuit"
 	"repro/internal/la"
 	"repro/internal/solc"
@@ -24,7 +25,7 @@ type Config struct {
 	TEnd float64
 	// MaxAttempts bounds the random restarts per problem.
 	MaxAttempts int
-	// Seed seeds initial conditions.
+	// Seed seeds initial conditions (attempt k derives Seed + k).
 	Seed int64
 	// StepH is the IMEX step size.
 	StepH float64
@@ -33,6 +34,18 @@ type Config struct {
 	// Mode selects the dynamical form (default capacitive, required by
 	// imex).
 	Mode solc.Mode
+	// Parallelism bounds how many restarts integrate concurrently
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
+	// FirstWin selects the non-deterministic first-winner-cancels-all
+	// policy instead of the deterministic lowest-attempt winner.
+	FirstWin bool
+	// Deadline, when positive, bounds the wall-clock time of each solve.
+	Deadline time.Duration
+	// Portfolio, when non-empty, races these heterogeneous solver
+	// configurations across the restart attempts instead of the single
+	// (Mode, Stepper) pair.
+	Portfolio []solc.PortfolioMember
 	// TraceNodes, when positive, records that many node-voltage
 	// trajectories (the first k signal nodes) into Result.Trace,
 	// downsampled by TraceEvery.
@@ -74,15 +87,32 @@ type Metrics struct {
 	// Energy is the dissipated energy ∫Σ g·d² dt (the paper's Sec. VI-I
 	// energy resource; IMEX runs only).
 	Energy float64
-	// Attempts and Steps count restarts and integration steps.
-	Attempts, Steps int
+	// Attempts and Steps count restarts and integration steps; Launched
+	// and Cancelled report the parallel pool's activity (Launched ≥
+	// Attempts when restarts race); FEvals totals right-hand-side
+	// evaluations.
+	Attempts, Steps     int
+	Launched, Cancelled int
+	FEvals              int
 	// Wall is the elapsed wall-clock time.
 	Wall time.Duration
 }
 
 func (m Metrics) String() string {
-	return fmt.Sprintf("gates=%d mem=%d vcdcg=%d dim=%d t*=%.2f attempts=%d steps=%d wall=%v",
-		m.Gates, m.Memristors, m.VCDCGs, m.StateDim, m.ConvergenceTime, m.Attempts, m.Steps, m.Wall)
+	return fmt.Sprintf("gates=%d mem=%d vcdcg=%d dim=%d t*=%.2f attempts=%d launched=%d cancelled=%d steps=%d wall=%v",
+		m.Gates, m.Memristors, m.VCDCGs, m.StateDim, m.ConvergenceTime, m.Attempts, m.Launched, m.Cancelled, m.Steps, m.Wall)
+}
+
+// fillRun copies the dynamical counters of a solve into the metrics.
+func (m *Metrics) fillRun(res solc.Result) {
+	m.ConvergenceTime = res.T
+	m.Energy = res.Energy
+	m.Attempts = res.Attempts
+	m.Launched = res.Launched
+	m.Cancelled = res.Cancelled
+	m.Steps = res.Steps
+	m.FEvals = res.FEvals
+	m.Wall = res.Wall
 }
 
 // fill populates size metrics from a compiled SOLC.
@@ -94,8 +124,8 @@ func (m *Metrics) fill(cs *solc.Compiled) {
 	m.StateDim = cs.Eng.Dim()
 }
 
-// solveCompiled runs the common solution-mode loop with optional tracing.
-func solveCompiled(cs *solc.Compiled, cfg Config) (solc.Result, *trace.Recorder, error) {
+// options translates the Config into solver options.
+func (cfg Config) options() solc.Options {
 	opts := solc.DefaultOptions()
 	opts.TEnd = cfg.TEnd
 	if cfg.MaxAttempts > 0 {
@@ -108,6 +138,29 @@ func solveCompiled(cs *solc.Compiled, cfg Config) (solc.Result, *trace.Recorder,
 	if cfg.Stepper != "" {
 		opts.Stepper = cfg.Stepper
 	}
+	opts.Parallelism = cfg.Parallelism
+	opts.Deadline = cfg.Deadline
+	if cfg.FirstWin {
+		opts.Policy = solc.WinnerFirstDone
+	}
+	return opts
+}
+
+// compileProblem maps a boolean problem onto the configured solver
+// portfolio: the single (Mode, Stepper) pair by default, or the
+// heterogeneous Config.Portfolio when set.
+func compileProblem(bc *boolcirc.Circuit, pins map[boolcirc.Signal]bool, cfg Config) *solc.Portfolio {
+	members := cfg.Portfolio
+	if len(members) == 0 {
+		members = []solc.PortfolioMember{{Mode: cfg.Mode, Stepper: cfg.Stepper}}
+	}
+	return solc.CompilePortfolio(bc, pins, cfg.Params, members)
+}
+
+// solvePortfolio runs the common solution-mode loop with optional tracing.
+func solvePortfolio(pf *solc.Portfolio, cfg Config) (solc.Result, *trace.Recorder, error) {
+	opts := cfg.options()
+	cs := pf.Compiled(0)
 	var rec *trace.Recorder
 	if cfg.TraceNodes > 0 {
 		k := cfg.TraceNodes
@@ -131,6 +184,6 @@ func solveCompiled(cs *solc.Compiled, cfg Config) (solc.Result, *trace.Recorder,
 			rec.Append(t, vals)
 		}
 	}
-	res, err := cs.Solve(opts)
+	res, err := pf.Solve(opts)
 	return res, rec, err
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/boolcirc"
-	"repro/internal/solc"
 )
 
 // Factorizer builds and runs the prime-factorization SOLC of Sec. VII-A:
@@ -81,19 +80,15 @@ func (f *Factorizer) Factor(n uint64) (FactorResult, error) {
 	}
 	nn := BitLen(n)
 	bc, p, q, pins := BuildCircuit(n, nn)
-	cs := solc.CompileMode(bc, pins, f.cfg.Params, f.cfg.Mode)
+	pf := compileProblem(bc, pins, f.cfg)
 	out := FactorResult{N: n}
-	out.Metrics.fill(cs)
-	res, rec, err := solveCompiled(cs, f.cfg)
+	out.Metrics.fill(pf.Compiled(0))
+	res, rec, err := solvePortfolio(pf, f.cfg)
 	if err != nil {
 		return out, err
 	}
 	out.Reason = res.Reason
-	out.Metrics.ConvergenceTime = res.T
-	out.Metrics.Energy = res.Energy
-	out.Metrics.Attempts = res.Attempts
-	out.Metrics.Steps = res.Steps
-	out.Metrics.Wall = res.Wall
+	out.Metrics.fillRun(res)
 	if rec != nil {
 		out.Trace = rec
 	}

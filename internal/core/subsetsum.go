@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/boolcirc"
-	"repro/internal/solc"
 )
 
 // SubsetSum builds and runs the subset-sum SOLC of Sec. VII-B (Fig. 14):
@@ -81,19 +80,15 @@ func (ss *SubsetSum) Solve(values []uint64, target uint64) (SubsetSumResult, err
 	}
 	p := Precision(values)
 	bc, selectors, pins := BuildSubsetSumCircuit(values, p, target)
-	cs := solc.CompileMode(bc, pins, ss.cfg.Params, ss.cfg.Mode)
+	pf := compileProblem(bc, pins, ss.cfg)
 	out := SubsetSumResult{Values: values, Target: target}
-	out.Metrics.fill(cs)
-	res, rec, err := solveCompiled(cs, ss.cfg)
+	out.Metrics.fill(pf.Compiled(0))
+	res, rec, err := solvePortfolio(pf, ss.cfg)
 	if err != nil {
 		return out, err
 	}
 	out.Reason = res.Reason
-	out.Metrics.ConvergenceTime = res.T
-	out.Metrics.Energy = res.Energy
-	out.Metrics.Attempts = res.Attempts
-	out.Metrics.Steps = res.Steps
-	out.Metrics.Wall = res.Wall
+	out.Metrics.fillRun(res)
 	if rec != nil {
 		out.Trace = rec
 	}

@@ -1,19 +1,31 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/classical"
 	"repro/internal/core"
+	"repro/internal/par"
 )
+
+// ensembleMember prepares the per-member configuration of an ensemble
+// fan-out: a distinct seed, and sequential inner solves so the ensemble
+// pool is the only layer spawning goroutines.
+func ensembleMember(cfg core.Config, seed int64) core.Config {
+	c := cfg
+	c.Seed = seed
+	c.Parallelism = 1
+	return c
+}
 
 // ScalingFactorization measures convergence time and circuit size across
 // product bit-widths (the Sec. VII-A O(nn²) claims). Semiprimes are chosen
-// per width; seeds gives the ensemble size per instance. Runs are
-// parallelized across goroutines (the paper used a 72-CPU cluster; we use
-// whatever cores are present).
+// per width; seeds gives the ensemble size per instance. Members run on the
+// shared bounded worker pool, cfg.Parallelism wide (the paper used a 72-CPU
+// cluster; we use whatever cores are present).
 func ScalingFactorization(cfg core.Config, bitWidths []int, seeds int) Report {
 	rep := Report{
 		ID:      "scaling-factor",
@@ -31,23 +43,13 @@ func ScalingFactorization(cfg core.Config, bitWidths []int, seeds int) Report {
 			wall   time.Duration
 		}
 		results := make([]outcome, seeds)
-		var wg sync.WaitGroup
-		for s := 0; s < seeds; s++ {
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				c := cfg
-				c.Seed = int64(s + 1)
-				fz := core.NewFactorizer(c)
-				res, err := fz.Factor(n)
-				if err == nil && res.Solved {
-					results[s] = outcome{true, res.Metrics.ConvergenceTime, res.Metrics.Wall}
-				} else if err == nil {
-					results[s] = outcome{false, res.Metrics.ConvergenceTime, res.Metrics.Wall}
-				}
-			}(s)
-		}
-		wg.Wait()
+		par.ForEach(context.Background(), seeds, cfg.Parallelism, func(_ context.Context, s int) {
+			fz := core.NewFactorizer(ensembleMember(cfg, int64(s+1)))
+			res, err := fz.Factor(n)
+			if err == nil {
+				results[s] = outcome{res.Solved, res.Metrics.ConvergenceTime, res.Metrics.Wall}
+			}
+		})
 		var times []float64
 		var wall time.Duration
 		conv := 0
@@ -101,27 +103,19 @@ func ScalingSubsetSum(cfg core.Config, sizes [][2]int, seeds int) Report {
 		conv := 0
 		var gates, dim int
 		var mu sync.Mutex
-		var wg sync.WaitGroup
-		for s := 0; s < seeds; s++ {
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				c := cfg
-				c.Seed = int64(s + 1)
-				ss := core.NewSubsetSum(c)
-				res, err := ss.Solve(values, target)
-				mu.Lock()
-				defer mu.Unlock()
-				if err == nil {
-					gates, dim = res.Metrics.Gates, res.Metrics.StateDim
-					if res.Solved {
-						conv++
-						times = append(times, res.Metrics.ConvergenceTime)
-					}
+		par.ForEach(context.Background(), seeds, cfg.Parallelism, func(_ context.Context, s int) {
+			ss := core.NewSubsetSum(ensembleMember(cfg, int64(s+1)))
+			res, err := ss.Solve(values, target)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				gates, dim = res.Metrics.Gates, res.Metrics.StateDim
+				if res.Solved {
+					conv++
+					times = append(times, res.Metrics.ConvergenceTime)
 				}
-			}(s)
-		}
-		wg.Wait()
+			}
+		})
 		rep.Rows = append(rep.Rows, []string{
 			f("%d", n), f("%d", p), f("%d", gates), f("%d", dim),
 			f("%d/%d", conv, seeds), f("%.1f", median(times)),
@@ -144,25 +138,18 @@ func Ensemble(cfg core.Config, n uint64, seeds int) Report {
 	conv := 0
 	var times []float64
 	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for s := 0; s < seeds; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			c := cfg
-			c.Seed = int64(1000 + s)
-			c.MaxAttempts = 1
-			fz := core.NewFactorizer(c)
-			res, err := fz.Factor(n)
-			mu.Lock()
-			defer mu.Unlock()
-			if err == nil && res.Solved {
-				conv++
-				times = append(times, res.Metrics.ConvergenceTime)
-			}
-		}(s)
-	}
-	wg.Wait()
+	par.ForEach(context.Background(), seeds, cfg.Parallelism, func(_ context.Context, s int) {
+		c := ensembleMember(cfg, int64(1000+s))
+		c.MaxAttempts = 1
+		fz := core.NewFactorizer(c)
+		res, err := fz.Factor(n)
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil && res.Solved {
+			conv++
+			times = append(times, res.Metrics.ConvergenceTime)
+		}
+	})
 	rep.Rows = append(rep.Rows, []string{
 		f("%d", n), f("%d", seeds), f("%d", conv),
 		f("%.2f", float64(conv)/float64(maxI(seeds, 1))), f("%.1f", median(times)),

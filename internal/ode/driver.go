@@ -1,6 +1,7 @@
 package ode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ const (
 	StopTEnd                 // reached the time horizon
 	StopMaxSteps             // exceeded the step budget
 	StopError                // a step failed irrecoverably
+	StopCancelled            // the driver's context was cancelled
 )
 
 func (r StopReason) String() string {
@@ -30,6 +32,8 @@ func (r StopReason) String() string {
 		return "max-steps"
 	case StopError:
 		return "error"
+	case StopCancelled:
+		return "cancelled"
 	default:
 		return "none"
 	}
@@ -46,6 +50,10 @@ type Driver struct {
 	Tol        float64
 	TEnd       float64 // time horizon (0 means unbounded)
 	MaxSteps   int     // step budget (0 means unbounded)
+
+	// Ctx, when non-nil, is polled every loop iteration; once it is
+	// cancelled (or its deadline passes) the run ends with StopCancelled.
+	Ctx context.Context
 
 	// Observe, when non-nil, is invoked after every accepted step.
 	Observe func(t float64, x la.Vector)
@@ -90,6 +98,9 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 	steps := 0
 	backup := x.Clone()
 	for {
+		if d.Ctx != nil && d.Ctx.Err() != nil {
+			return Result{T: t, Reason: StopCancelled, Err: d.Ctx.Err()}
+		}
 		if d.MaxSteps > 0 && steps >= d.MaxSteps {
 			return Result{T: t, Reason: StopMaxSteps}
 		}

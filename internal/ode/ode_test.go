@@ -216,6 +216,7 @@ func TestStopReasonStrings(t *testing.T) {
 	cases := map[StopReason]string{
 		StopCondition: "condition", StopTEnd: "t-end",
 		StopMaxSteps: "max-steps", StopError: "error", StopNone: "none",
+		StopCancelled: "cancelled",
 	}
 	for r, want := range cases {
 		if r.String() != want {

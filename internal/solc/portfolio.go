@@ -1,0 +1,319 @@
+package solc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+	"repro/internal/la"
+	"repro/internal/ode"
+	"repro/internal/par"
+)
+
+// PortfolioMember describes one solver configuration raced by a Portfolio:
+// a dynamical form plus an integration method. Restart attempts cycle
+// through the members (attempt k runs member k mod len(members)), so a
+// heterogeneous portfolio interleaves, say, the IMEX capacitive solver with
+// the adaptive-RK45 quasi-static one across its random restarts.
+type PortfolioMember struct {
+	// Name labels the member in Result.WinnerMember (defaults to
+	// "<stepper>-<mode>").
+	Name string
+	// Mode selects the dynamical form the member compiles to.
+	Mode Mode
+	// Stepper selects the member's integration method ("" inherits
+	// Options.Stepper).
+	Stepper string
+	// H, when positive, overrides Options.H for this member (the
+	// quasi-static explicit steppers need far smaller steps than IMEX).
+	H float64
+}
+
+func (m PortfolioMember) label() string {
+	if m.Name != "" {
+		return m.Name
+	}
+	st := m.Stepper
+	if st == "" {
+		st = "imex"
+	}
+	if m.Mode == ModeQuasiStatic {
+		return st + "-quasistatic"
+	}
+	return st + "-capacitive"
+}
+
+// DefaultPortfolio returns the heterogeneous pair the repository benchmarks:
+// the IMEX stepper on the capacitive form and the adaptive RK45 on the
+// order-reduced quasi-static form.
+func DefaultPortfolio() []PortfolioMember {
+	return []PortfolioMember{
+		{Name: "imex-capacitive", Mode: ModeCapacitive, Stepper: "imex"},
+		{Name: "rk45-quasistatic", Mode: ModeQuasiStatic, Stepper: "rk45", H: 1e-5},
+	}
+}
+
+// Portfolio races restart attempts of one boolean problem across one or
+// more compiled solver configurations on a bounded worker pool.
+type Portfolio struct {
+	members  []PortfolioMember
+	compiled []*Compiled
+}
+
+// CompilePortfolio compiles the boolean circuit once per member. All
+// members share the boolean problem and pin map; they differ in dynamical
+// form and integration method.
+func CompilePortfolio(bc *boolcirc.Circuit, pins map[boolcirc.Signal]bool, p circuit.Params, members []PortfolioMember) *Portfolio {
+	if len(members) == 0 {
+		members = DefaultPortfolio()
+	}
+	pf := &Portfolio{members: members}
+	for _, m := range members {
+		pf.compiled = append(pf.compiled, CompileMode(bc, pins, p, m.Mode))
+	}
+	return pf
+}
+
+// Members returns the portfolio's member descriptors.
+func (pf *Portfolio) Members() []PortfolioMember { return pf.members }
+
+// Compiled returns the compiled realization of member i.
+func (pf *Portfolio) Compiled(i int) *Compiled { return pf.compiled[i] }
+
+// attemptOut is the record one restart attempt leaves in the pool.
+type attemptOut struct {
+	launched  bool
+	cancelled bool
+	solved    bool
+	assign    boolcirc.Assignment
+	t         float64
+	steps     int
+	fevals    int
+	energy    float64
+	reason    string
+}
+
+// Solve races up to MaxAttempts restarts across the portfolio members on
+// Options.Parallelism workers. Every attempt k integrates its own cloned
+// engine from the initial condition drawn from Seed + k, so trajectories
+// are reproducible regardless of scheduling; the winner policy decides
+// which verified equilibrium is returned and which running attempts are
+// cancelled (via context) once it can no longer be beaten.
+func (pf *Portfolio) Solve(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	// ictx aborts dispatch and every running attempt at once (first-done
+	// winner, or a configuration error in any attempt).
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+
+	parallelism := opts.Parallelism
+	if opts.Observe != nil {
+		parallelism = 1
+	}
+	n := opts.MaxAttempts
+
+	var (
+		mu       sync.Mutex
+		outs     = make([]attemptOut, n)
+		cancels  = make(map[int]context.CancelFunc)
+		best     = n  // lowest solving attempt index seen (WinnerLowestAttempt)
+		firstWin = -1 // first solving attempt observed (WinnerFirstDone)
+		firstErr error
+	)
+
+	par.ForEach(ictx, n, parallelism, func(_ context.Context, i int) {
+		mu.Lock()
+		skip := firstErr != nil ||
+			(opts.Policy == WinnerLowestAttempt && i > best) ||
+			(opts.Policy == WinnerFirstDone && firstWin >= 0)
+		var actx context.Context
+		if !skip {
+			var acancel context.CancelFunc
+			actx, acancel = context.WithCancel(ictx)
+			cancels[i] = acancel
+		}
+		mu.Unlock()
+		if skip {
+			return
+		}
+
+		out, err := pf.runAttempt(actx, i, opts)
+
+		mu.Lock()
+		defer mu.Unlock()
+		if c, ok := cancels[i]; ok {
+			c()
+			delete(cancels, i)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+				icancel()
+			}
+			return
+		}
+		outs[i] = out
+		if !out.solved {
+			return
+		}
+		switch opts.Policy {
+		case WinnerFirstDone:
+			if firstWin < 0 {
+				firstWin = i
+				icancel()
+			}
+		default: // WinnerLowestAttempt
+			if i < best {
+				best = i
+				for j, c := range cancels {
+					if j > i {
+						c()
+					}
+				}
+			}
+		}
+	})
+
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+
+	res := Result{WinnerAttempt: -1}
+	lastReason := ""
+	for _, o := range outs {
+		if !o.launched {
+			continue
+		}
+		res.Launched++
+		if o.cancelled {
+			res.Cancelled++
+		} else {
+			lastReason = o.reason
+		}
+		res.Steps += o.steps
+		res.FEvals += o.fevals
+		res.Energy += o.energy
+		if o.t > res.T {
+			res.T = o.t
+		}
+	}
+	winner := -1
+	if opts.Policy == WinnerFirstDone {
+		winner = firstWin
+	} else if best < n {
+		winner = best
+	}
+	if winner >= 0 {
+		o := outs[winner]
+		res.Solved = true
+		res.Assignment = o.assign
+		res.T = o.t
+		res.Reason = "converged"
+		res.Attempts = winner + 1
+		res.WinnerAttempt = winner
+		res.WinnerSeed = opts.Seed + int64(winner)
+		res.WinnerMember = pf.members[winner%len(pf.members)].label()
+	} else {
+		res.Attempts = res.Launched
+		switch {
+		case lastReason != "":
+			res.Reason = lastReason
+		case ctx.Err() == context.DeadlineExceeded:
+			res.Reason = "deadline exceeded"
+		case ctx.Err() != nil:
+			res.Reason = "cancelled"
+		default:
+			res.Reason = "no attempt launched"
+		}
+		if res.Cancelled > 0 && ctx.Err() == context.DeadlineExceeded {
+			res.Reason = "deadline exceeded"
+		}
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runAttempt integrates restart attempt idx on a freshly cloned engine and
+// classifies the outcome. It is the only code that touches per-attempt
+// mutable state, so attempts are data-race free by construction.
+func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (attemptOut, error) {
+	member := pf.members[idx%len(pf.members)]
+	cs := pf.compiled[idx%len(pf.compiled)]
+	eng := cs.Eng.Clone()
+
+	stepperName := member.Stepper
+	if stepperName == "" {
+		stepperName = opts.Stepper
+	}
+	h := opts.H
+	if member.H > 0 {
+		h = member.H
+	}
+	stats := &ode.Stats{}
+	stepper, err := newStepper(stepperName, stats, eng)
+	if err != nil {
+		return attemptOut{}, err
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + int64(idx)))
+	x := eng.InitialState(rng)
+	var nodeVBuf la.Vector
+	driver := &ode.Driver{
+		Stepper: stepper,
+		H:       h, HMax: opts.HMax, Tol: opts.Tol,
+		TEnd: opts.TEnd,
+		Ctx:  ctx,
+		Observe: func(t float64, x la.Vector) {
+			eng.ClampState(x)
+			if opts.Observe != nil {
+				nodeVBuf = eng.NodeVoltages(t, x, nodeVBuf)
+				opts.Observe(t, nodeVBuf)
+			}
+		},
+		Stop: func(t float64, x la.Vector) bool {
+			return t > eng.Parameters().TRise && eng.Converged(t, x, opts.ConvTol)
+		},
+	}
+	run := driver.Run(eng, 0, x)
+
+	out := attemptOut{launched: true, t: run.T, steps: stats.Steps, fevals: stats.FEvals}
+	if im, ok := stepper.(*circuit.IMEXStepper); ok {
+		out.energy = im.Energy()
+	}
+	switch run.Reason {
+	case ode.StopCondition:
+		assign := cs.decodeWith(eng, run.T, x)
+		if cs.BC.Satisfied(assign) && cs.pinsRespected(assign) {
+			out.solved = true
+			out.assign = assign
+			out.reason = "converged"
+			return out, nil
+		}
+		out.reason = "decoded assignment failed verification"
+	case ode.StopTEnd:
+		out.reason = "time horizon reached"
+	case ode.StopCancelled:
+		out.cancelled = true
+		out.reason = "cancelled"
+	case ode.StopError:
+		out.reason = fmt.Sprintf("integration failure: %v", run.Err)
+	default:
+		out.reason = run.Reason.String()
+	}
+	return out, nil
+}

@@ -20,8 +20,16 @@ type SATResult struct {
 // OR tree per clause with every clause output pinned to logic 1 — and runs
 // it in solution mode. This is the general-purpose face of the machine:
 // the paper builds its SOLCs "by encoding directly the SAT representing
-// the specific problem" (Sec. VIII).
+// the specific problem" (Sec. VIII). Options.Parallelism races the
+// restarts; SolveCNFPortfolio additionally races heterogeneous solver
+// configurations.
 func SolveCNF(f boolcirc.CNF, p circuit.Params, opts Options) (SATResult, error) {
+	return SolveCNFPortfolio(f, p, []PortfolioMember{{Mode: ModeCapacitive, Stepper: opts.Stepper}}, opts)
+}
+
+// SolveCNFPortfolio is SolveCNF racing restarts across the given portfolio
+// members (DefaultPortfolio when members is empty).
+func SolveCNFPortfolio(f boolcirc.CNF, p circuit.Params, members []PortfolioMember, opts Options) (SATResult, error) {
 	bc, vars, outs, err := boolcirc.FromCNF(f)
 	if err != nil {
 		return SATResult{}, fmt.Errorf("solc: %w", err)
@@ -30,8 +38,8 @@ func SolveCNF(f boolcirc.CNF, p circuit.Params, opts Options) (SATResult, error)
 	for _, o := range outs {
 		pins[o] = true
 	}
-	cs := Compile(bc, pins, p)
-	res, err := cs.Solve(opts)
+	pf := CompilePortfolio(bc, pins, p, members)
+	res, err := pf.Solve(opts)
 	if err != nil {
 		return SATResult{}, err
 	}

@@ -8,8 +8,8 @@
 package solc
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/boolcirc"
@@ -105,6 +105,26 @@ func CompileMode(bc *boolcirc.Circuit, pins map[boolcirc.Signal]bool, p circuit.
 	return &Compiled{BC: bc, Eng: eng, NodeOf: nodeOf, Pins: all}
 }
 
+// WinnerPolicy selects how the parallel restart pool picks among attempts
+// that reach a verified equilibrium.
+type WinnerPolicy int
+
+// Winner policies.
+const (
+	// WinnerLowestAttempt (the default) returns the lowest-indexed attempt
+	// that solves. Because every attempt's trajectory depends only on its
+	// derived seed (Seed + attempt), the returned assignment and attempt
+	// count are identical for any Parallelism — the deterministic policy.
+	// A win cancels only the attempts that can no longer affect the result
+	// (those with higher indices).
+	WinnerLowestAttempt WinnerPolicy = iota
+	// WinnerFirstDone returns the first attempt observed to solve and
+	// cancels every other attempt immediately. Fastest wall-clock — racing
+	// restarts pays off even on one core because a slow attempt no longer
+	// blocks a fast one — but which attempt wins depends on scheduling.
+	WinnerFirstDone
+)
+
 // Options tunes the solution-mode integration.
 type Options struct {
 	// H, HMax, Tol configure the adaptive integrator (zero values select
@@ -116,14 +136,30 @@ type Options struct {
 	ConvTol float64
 	// MaxAttempts bounds the number of random restarts.
 	MaxAttempts int
-	// Seed seeds the initial-condition generator.
+	// Seed seeds the initial-condition generators: attempt k draws its
+	// initial state from Seed + k, so a given attempt's trajectory is
+	// reproducible regardless of scheduling or Parallelism.
 	Seed int64
 	// Stepper selects the integration method: "imex" (default, requires
 	// ModeCapacitive compilation), "rk45", "rk4", "heun", "euler",
 	// "trapezoidal".
 	Stepper string
+	// Parallelism bounds how many restarts integrate concurrently:
+	// 0 selects GOMAXPROCS, 1 recovers the sequential restart loop.
+	Parallelism int
+	// Policy picks the winning attempt when restarts race (see
+	// WinnerPolicy; the default is the deterministic WinnerLowestAttempt).
+	Policy WinnerPolicy
+	// Deadline, when positive, bounds the wall-clock time of the whole
+	// solve; attempts still running when it expires are cancelled.
+	Deadline time.Duration
+	// Ctx, when non-nil, cancels the solve externally (nil means
+	// context.Background).
+	Ctx context.Context
 	// Observe, when non-nil, receives every accepted step's time and node
-	// voltages (for trajectory recording).
+	// voltages (for trajectory recording). A non-nil Observe forces
+	// sequential execution (Parallelism 1) so the callback never runs
+	// concurrently with itself.
 	Observe func(t float64, nodeV la.Vector)
 }
 
@@ -139,18 +175,53 @@ func DefaultOptions() Options {
 	}
 }
 
+// withDefaults fills zero-valued fields with DefaultOptions-compatible
+// settings.
+func (o Options) withDefaults() Options {
+	if o.H <= 0 {
+		o.H = 1e-3
+	}
+	if o.HMax <= 0 {
+		o.HMax = 1e-1
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.TEnd <= 0 {
+		o.TEnd = 200
+	}
+	if o.ConvTol <= 0 {
+		o.ConvTol = 0.02
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 1
+	}
+	if o.Stepper == "" {
+		o.Stepper = "imex"
+	}
+	return o
+}
+
 // Result reports a solution-mode run.
 type Result struct {
 	// Solved is true when the SOLC reached a verified logic equilibrium.
 	Solved bool
 	// Assignment is the decoded full signal assignment (valid when Solved).
 	Assignment boolcirc.Assignment
-	// T is the dynamical time at which the last attempt stopped.
+	// T is the winning attempt's convergence time (or, unsolved, the
+	// largest dynamical time any attempt reached).
 	T float64
-	// Attempts is the number of initial conditions tried.
+	// Attempts is the number of initial conditions consumed by the result:
+	// winning attempt index + 1 when solved (identical for sequential and
+	// parallel runs under WinnerLowestAttempt), attempts launched
+	// otherwise.
 	Attempts int
-	// Steps is the total number of accepted integration steps.
+	// Steps is the total number of accepted integration steps across all
+	// launched attempts.
 	Steps int
+	// FEvals is the total number of right-hand-side evaluations across all
+	// launched attempts.
+	FEvals int
 	// Wall is the elapsed wall-clock time.
 	Wall time.Duration
 	// Energy is the dissipated energy ∫Σ g·d² dt accumulated across all
@@ -158,6 +229,16 @@ type Result struct {
 	Energy float64
 	// Reason describes why the run ended.
 	Reason string
+	// Launched counts attempts actually started; Cancelled counts those
+	// stopped early by a winner or the deadline.
+	Launched, Cancelled int
+	// WinnerAttempt is the winning attempt index (-1 when unsolved) and
+	// WinnerSeed its derived RNG seed (Options.Seed + WinnerAttempt).
+	WinnerAttempt int
+	WinnerSeed    int64
+	// WinnerMember names the portfolio member that produced the solution
+	// (the stepper name for single-engine solves).
+	WinnerMember string
 }
 
 // newStepper builds the requested integration method. eng is consulted
@@ -188,85 +269,25 @@ func newStepper(name string, stats *ode.Stats, eng circuit.Engine) (ode.Stepper,
 // the circuit self-organizes, decoding and verifying the result. Failed
 // attempts (time horizon reached without a verified equilibrium) restart
 // from a fresh initial condition, as the multi-step inverse protocol of
-// Sec. IV-E allows.
+// Sec. IV-E allows; Options.Parallelism races restarts concurrently with
+// first-winner cancellation (see Portfolio for the pool semantics).
 func (cs *Compiled) Solve(opts Options) (Result, error) {
-	if opts.H <= 0 {
-		opts.H = 1e-3
+	pf := &Portfolio{
+		members:  []PortfolioMember{{Stepper: opts.Stepper}},
+		compiled: []*Compiled{cs},
 	}
-	if opts.HMax <= 0 {
-		opts.HMax = 1e-1
-	}
-	if opts.Tol <= 0 {
-		opts.Tol = 1e-6
-	}
-	if opts.TEnd <= 0 {
-		opts.TEnd = 200
-	}
-	if opts.ConvTol <= 0 {
-		opts.ConvTol = 0.02
-	}
-	if opts.MaxAttempts < 1 {
-		opts.MaxAttempts = 1
-	}
-	start := time.Now()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	stats := &ode.Stats{}
-	c := cs.Eng
-	res := Result{}
-	var nodeVBuf la.Vector
-	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
-		stepper, err := newStepper(opts.Stepper, stats, c)
-		if err != nil {
-			return Result{}, err
-		}
-		x := c.InitialState(rng)
-		driver := &ode.Driver{
-			Stepper: stepper,
-			H:       opts.H, HMax: opts.HMax, Tol: opts.Tol,
-			TEnd: opts.TEnd,
-			Observe: func(t float64, x la.Vector) {
-				c.ClampState(x)
-				if opts.Observe != nil {
-					nodeVBuf = c.NodeVoltages(t, x, nodeVBuf)
-					opts.Observe(t, nodeVBuf)
-				}
-			},
-			Stop: func(t float64, x la.Vector) bool {
-				return t > c.Parameters().TRise && c.Converged(t, x, opts.ConvTol)
-			},
-		}
-		run := driver.Run(c, 0, x)
-		res.Attempts = attempt + 1
-		res.T = run.T
-		res.Steps = stats.Steps
-		res.Wall = time.Since(start)
-		if im, ok := stepper.(*circuit.IMEXStepper); ok {
-			res.Energy += im.Energy()
-		}
-		switch run.Reason {
-		case ode.StopCondition:
-			assign := cs.Decode(run.T, x)
-			if cs.BC.Satisfied(assign) && cs.pinsRespected(assign) {
-				res.Solved = true
-				res.Assignment = assign
-				res.Reason = "converged"
-				return res, nil
-			}
-			res.Reason = "decoded assignment failed verification"
-		case ode.StopTEnd:
-			res.Reason = "time horizon reached"
-		case ode.StopError:
-			res.Reason = fmt.Sprintf("integration failure: %v", run.Err)
-		default:
-			res.Reason = run.Reason.String()
-		}
-	}
-	return res, nil
+	return pf.Solve(opts)
 }
 
 // Decode reads the logic value of every boolean signal from the state.
 func (cs *Compiled) Decode(t float64, x la.Vector) boolcirc.Assignment {
-	nodeV := cs.Eng.NodeVoltages(t, x, nil)
+	return cs.decodeWith(cs.Eng, t, x)
+}
+
+// decodeWith decodes through an explicit engine (a per-attempt clone
+// during parallel solves, so concurrent decodes never share scratch).
+func (cs *Compiled) decodeWith(eng circuit.Engine, t float64, x la.Vector) boolcirc.Assignment {
+	nodeV := eng.NodeVoltages(t, x, nil)
 	assign := make(boolcirc.Assignment, len(cs.NodeOf))
 	for s, n := range cs.NodeOf {
 		assign[s] = nodeV[n] > 0

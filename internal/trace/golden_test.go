@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder produces a deterministic two-series trajectory with the
+// downsampler engaged (Every = 3) and values exercising the %g formatter:
+// integers, fractions, negative values, and exponent notation.
+func goldenRecorder() *Recorder {
+	r := NewRecorder([]string{"v(p0)", "v(q0)"}, 3)
+	for i := 0; i < 10; i++ {
+		t := float64(i) * 0.25
+		r.Append(t, []float64{
+			math.Cos(float64(i)) * 1e-3,
+			float64(i)/4 - 1,
+		})
+	}
+	return r
+}
+
+// TestWriteCSVGolden locks the exact CSV byte stream — header, column
+// order, %g formatting, row count after downsampling — against
+// testdata/recorder.csv. Regenerate deliberately with `go test -update`.
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "recorder.csv")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("CSV output drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestDownsampleEdgeCases pins the Every > 1 contract: the first sample is
+// always kept, sample i is kept iff i ≡ 0 (mod Every), and a stride larger
+// than the appended count leaves exactly the first sample.
+func TestDownsampleEdgeCases(t *testing.T) {
+	cases := []struct {
+		every, appended int
+		wantT           []float64
+	}{
+		{1, 4, []float64{0, 1, 2, 3}},
+		{2, 5, []float64{0, 2, 4}},
+		{3, 10, []float64{0, 3, 6, 9}},
+		{4, 9, []float64{0, 4, 8}},
+		{7, 3, []float64{0}}, // stride beyond the data: first sample only
+		{3, 1, []float64{0}},
+		{5, 0, nil},
+	}
+	for _, tc := range cases {
+		r := NewRecorder([]string{"v"}, tc.every)
+		for i := 0; i < tc.appended; i++ {
+			r.Append(float64(i), []float64{float64(i) * 10})
+		}
+		if r.Len() != len(tc.wantT) {
+			t.Fatalf("every=%d appended=%d: Len=%d, want %d",
+				tc.every, tc.appended, r.Len(), len(tc.wantT))
+		}
+		for i, want := range tc.wantT {
+			if r.T[i] != want {
+				t.Fatalf("every=%d appended=%d: T=%v, want %v",
+					tc.every, tc.appended, r.T, tc.wantT)
+			}
+			if r.Series[0][i] != want*10 {
+				t.Fatalf("every=%d: series desynchronized from T: %v", tc.every, r.Series[0])
+			}
+		}
+	}
+}
+
+// TestDownsampleNormalizesEvery confirms nonpositive strides fall back to
+// keeping every sample rather than dividing by zero in Append.
+func TestDownsampleNormalizesEvery(t *testing.T) {
+	for _, every := range []int{0, -2} {
+		r := NewRecorder([]string{"v"}, every)
+		for i := 0; i < 3; i++ {
+			r.Append(float64(i), []float64{0})
+		}
+		if r.Len() != 3 {
+			t.Fatalf("every=%d: Len=%d, want 3", every, r.Len())
+		}
+	}
+}
+
+// TestWriteCSVDownsampled checks the CSV row count follows the stored
+// samples, not the appended count.
+func TestWriteCSVDownsampled(t *testing.T) {
+	r := NewRecorder([]string{"a"}, 4)
+	for i := 0; i < 12; i++ {
+		r.Append(float64(i), []float64{float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(buf.Bytes(), []byte("\n"))
+	if lines != 1+3 { // header + samples 0, 4, 8
+		t.Fatalf("CSV has %d lines, want 4", lines)
+	}
+}
