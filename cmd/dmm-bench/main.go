@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dmm-bench -exp all
-//	dmm-bench -exp fig12 -tend 150 -attempts 4
+//	dmm-bench -exp fig12 -tend 150 -attempts 4 [-check]
 //	dmm-bench -exp scaling-factor -bits 6,8 -seeds 4
 package main
 
@@ -26,12 +26,14 @@ func main() {
 	seeds := flag.Int("seeds", 4, "ensemble size for scaling/ensemble experiments")
 	bitsFlag := flag.String("bits", "6,8", "bit widths for scaling-factor")
 	parallel := flag.Int("parallel", 0, "worker-pool width for ensembles and raced restarts (0 = GOMAXPROCS)")
+	check := flag.Bool("check", false, "verify runtime invariants on every integration step of the dynamical experiments (no build tag needed)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.TEnd = *tEnd
 	cfg.MaxAttempts = *attempts
 	cfg.Parallelism = *parallel
+	cfg.Verify = *check
 
 	var bits []int
 	for _, tok := range strings.Split(*bitsFlag, ",") {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dmm-factor -n 35 [-seed 1] [-tend 150] [-attempts 4] [-trace]
+//	dmm-factor -n 35 [-seed 1] [-tend 150] [-attempts 4] [-trace] [-check]
 //	dmm-factor -n 143 -attempts 8 -parallel 4 [-first-win] [-deadline 30s]
 //	dmm-factor -n 35 -portfolio
 package main
@@ -14,7 +14,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/solc"
 	"repro/internal/trace"
 )
@@ -29,6 +31,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
 	portfolio := flag.Bool("portfolio", false, "race the heterogeneous solver portfolio (IMEX-capacitive vs RK45-quasistatic)")
 	showTrace := flag.Bool("trace", false, "render factor-bit voltage trajectories")
+	check := flag.Bool("check", false, "verify runtime invariants per step and post-hoc scan the recorded trace (no build tag needed)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -38,6 +41,7 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.FirstWin = *firstWin
 	cfg.Deadline = *deadline
+	cfg.Verify = *check
 	if *portfolio {
 		cfg.Portfolio = solc.DefaultPortfolio()
 	}
@@ -66,6 +70,19 @@ func main() {
 	if rec, ok := res.Trace.(*trace.Recorder); ok && rec.Len() > 0 {
 		fmt.Println("\nfactor-bit trajectories (−vc..+vc):")
 		fmt.Print(rec.RenderASCII(72, -1.2, 1.2))
+		if *check {
+			vb := circuit.VBoundFactor * cfg.Params.Vc
+			viols := invariant.ScanTrace(rec.T, rec.Labels, rec.Series, -vb, vb)
+			if len(viols) == 0 {
+				fmt.Printf("trace invariant scan: %d samples × %d nodes inside ±%.3g, all finite\n",
+					rec.Len(), len(rec.Labels), vb)
+			} else {
+				for _, v := range viols {
+					fmt.Fprintln(os.Stderr, "dmm-factor:", v)
+				}
+				os.Exit(3)
+			}
+		}
 	}
 	if !res.Solved {
 		os.Exit(2)

@@ -1,0 +1,97 @@
+// Command dmmvet runs the repository's custom static analyzers — the
+// mechanical half of the solver's numerical and concurrency contracts
+// (the runtime half lives in internal/invariant):
+//
+//	floateq         no ==/!= on floating-point expressions
+//	seeddet         no global math/rand or wall-clock seeding (Seed+attempt determinism)
+//	stateclone      methods must not retain caller-provided slices without Clone/copy
+//	ctxfirst        context.Context is always the first parameter
+//	nakedgoroutine  all fan-out goes through internal/par
+//
+// Usage:
+//
+//	dmmvet [-checks floateq,seeddet,...] [packages]
+//	dmmvet -list
+//
+// Packages default to ./... . Findings print as file:line:col: message
+// (analyzer); the exit status is 1 when any finding remains, 2 on a load
+// or usage error. Individual findings are waived in source with a
+// justified `//dmmvet:allow <analyzer> — reason` comment on the same or
+// preceding line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/nakedgoroutine"
+	"repro/internal/analysis/seeddet"
+	"repro/internal/analysis/stateclone"
+)
+
+func all() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxfirst.Analyzer,
+		floateq.Analyzer,
+		nakedgoroutine.Analyzer,
+		seeddet.Analyzer,
+		stateclone.Analyzer,
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := all()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*checks, ",") {
+			n = strings.TrimSpace(n)
+			a, ok := byName[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dmmvet: unknown analyzer %q (see -list)\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmmvet:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmmvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

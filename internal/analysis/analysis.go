@@ -1,0 +1,142 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools go/analysis framework: just enough of the
+// Analyzer/Pass surface to write the repository-specific static checks
+// bundled into cmd/dmmvet. The build is fully offline (no module proxy),
+// so the real framework cannot be fetched; this one is stdlib-only
+// (go/ast + go/types) and keeps the same Analyzer/Pass shape so the
+// checkers port to the upstream API mechanically if the dependency ever
+// becomes available.
+//
+// Suppression: a finding is dropped when the line it points at — or the
+// line directly above it — carries a comment of the form
+//
+//	//dmmvet:allow <analyzer> — <justification>
+//
+// naming the reporting analyzer. The justification is mandatory by
+// convention (reviewed, not machine-checked).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the check to one type-checked package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+var allowRe = regexp.MustCompile(`dmmvet:allow\s+([A-Za-z0-9_,\-]+)`)
+
+// suppressions maps file name -> line -> analyzer names allowed there.
+func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	sup := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				for _, n := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// Run applies every analyzer to every package, filters findings through
+// //dmmvet:allow suppressions, and returns them sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				findings:  &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		sup := suppressions(pkg.Fset, pkg.Syntax)
+		for _, f := range raw {
+			if byLine := sup[f.Pos.Filename]; byLine != nil {
+				if byLine[f.Pos.Line][f.Analyzer] || byLine[f.Pos.Line-1][f.Analyzer] {
+					continue
+				}
+			}
+			all = append(all, f)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

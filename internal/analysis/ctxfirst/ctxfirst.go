@@ -1,0 +1,62 @@
+// Package ctxfirst enforces the cancellation idiom the solver stack
+// standardized on (ode.Driver, par.ForEach, Portfolio.Solve): a function
+// that accepts a context.Context takes it as its first parameter, so
+// cancellable call chains read uniformly and no context is buried behind
+// positional arguments.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "require context.Context to be the first parameter of any function that takes one",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkParams(pass, fd.Name.Name, fd.Type)
+		}
+	}
+	return nil
+}
+
+func checkParams(pass *analysis.Pass, name string, ft *ast.FuncType) {
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContext(pass, field.Type) && idx > 0 {
+			pass.Reportf(field.Pos(),
+				"%s: context.Context is parameter %d; cancellable APIs take ctx first (ode.Driver convention)",
+				name, idx)
+		}
+		idx += n
+	}
+}
+
+func isContext(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

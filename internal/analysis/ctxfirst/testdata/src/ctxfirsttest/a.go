@@ -1,0 +1,19 @@
+// Package ctxfirsttest exercises the ctxfirst analyzer.
+package ctxfirsttest
+
+import "context"
+
+func good(ctx context.Context, n int) {}
+
+func bad(n int, ctx context.Context) {} // want `context.Context is parameter 1`
+
+func worse(a, b int, ctx context.Context, c int) {} // want `context.Context is parameter 2`
+
+type t struct{}
+
+// methods count only explicit parameters, not the receiver.
+func (t) method(ctx context.Context, n int) {}
+
+func (t) badMethod(n int, ctx context.Context) {} // want `context.Context is parameter 1`
+
+func noCtx(a, b string) {}

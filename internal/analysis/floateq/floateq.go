@@ -1,0 +1,67 @@
+// Package floateq flags == and != between floating-point expressions.
+// Exact float equality silently breaks under roundoff — the solver's
+// convergence and equilibrium tests (Eqs. 63-67 hold only approximately
+// in floating point) must go through explicit tolerances instead.
+// Comparing against a constant zero is allowed: a structural zero (an
+// absent VCVG coefficient, an unset field) is exact by construction.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "forbid == and != on floating-point expressions; compare through an explicit tolerance " +
+		"(constant-zero operands are exempt as structural sentinels)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use an explicit tolerance (math.Abs(a-b) <= eps) or justify with //dmmvet:allow floateq",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+// Package floateqtest exercises the floateq analyzer.
+package floateqtest
+
+type volt float64
+
+func compare(a, b float64, v volt, c complex128, n int) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != b { // want `floating-point != comparison`
+		return true
+	}
+	if v == volt(b) { // want `floating-point == comparison`
+		return true
+	}
+	if c == 1i { // want `floating-point == comparison`
+		return true
+	}
+	if a != 0.5 { // want `floating-point != comparison`
+		return true
+	}
+	if a == 0 { // structural zero: allowed
+		return true
+	}
+	if 0.0 != b { // structural zero: allowed
+		return true
+	}
+	if n == 3 { // integers: allowed
+		return true
+	}
+	if a == b { //dmmvet:allow floateq — exact cache-key comparison under test
+		return true
+	}
+	return a < b
+}

@@ -1,0 +1,40 @@
+// Package nakedgoroutine keeps all solver fan-out on the shared bounded
+// pool: internal/par is the only package allowed to start goroutines.
+// Ad-hoc `go func` elsewhere bypasses the pool's parallelism bound,
+// index-ordered claiming, and cancellation semantics — the properties the
+// portfolio's determinism and deadline guarantees are built on.
+package nakedgoroutine
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// allowed lists the packages that may start goroutines directly.
+var allowed = map[string]bool{
+	"repro/internal/par": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nakedgoroutine",
+	Doc:  "forbid go statements outside internal/par; route fan-out through the shared bounded pool (par.ForEach)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"ad-hoc goroutine outside internal/par; route fan-out through par.ForEach so the pool bound and cancellation apply")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package nakedgoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nakedgoroutine"
+)
+
+func TestNakedGoroutine(t *testing.T) {
+	analysistest.Run(t, nakedgoroutine.Analyzer, "testdata/src/goroutinetest", "repro/internal/fixture/goroutinetest")
+}
+
+// The same fixture type-checked under the internal/par import path must
+// produce no findings: the pool implementation is the one sanctioned home
+// for go statements.
+func TestParPackageAllowed(t *testing.T) {
+	analysistest.Run(t, nakedgoroutine.Analyzer, "testdata/src/parpkg", "repro/internal/par")
+}

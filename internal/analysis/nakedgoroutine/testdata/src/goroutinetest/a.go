@@ -1,0 +1,18 @@
+// Package goroutinetest exercises the nakedgoroutine analyzer.
+package goroutinetest
+
+import "sync"
+
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { // want `ad-hoc goroutine outside internal/par`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+	go helper() // want `ad-hoc goroutine outside internal/par`
+}
+
+func helper() {}

@@ -1,0 +1,108 @@
+// Package seeddet guards the solver's Seed+attempt determinism contract
+// (PR 1): every random draw in solver and portfolio paths must flow from
+// an explicitly seeded *rand.Rand, so attempt k's trajectory is a pure
+// function of Options.Seed + k regardless of scheduling. The analyzer
+// flags the two ways that contract silently erodes:
+//
+//   - calls to the package-level math/rand (or math/rand/v2) draw
+//     functions, which consult a shared global source, and
+//   - rand sources seeded from the wall clock (time.Now anywhere inside
+//     a rand.NewSource / rand.New / rand.Seed argument).
+package seeddet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seeddet",
+	Doc: "forbid global math/rand draws and wall-clock rand seeding; thread an explicit *rand.Rand " +
+		"derived from Seed+attempt so trajectories stay reproducible",
+	Run: run,
+}
+
+// constructors may be called with a deterministic seed; everything else
+// package-level in math/rand draws from (or mutates) the global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are the approved path
+			}
+			switch {
+			case fn.Name() == "Seed":
+				pass.Reportf(call.Pos(),
+					"rand.Seed mutates the global math/rand source; construct rand.New(rand.NewSource(seed)) instead")
+			case !constructors[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"global math/rand.%s draws from a shared nondeterministic source; thread an explicit *rand.Rand (Seed+attempt)",
+					fn.Name())
+			case containsTimeNow(pass, call):
+				pass.Reportf(call.Pos(),
+					"rand source seeded from the wall clock; derive the seed from Options.Seed so runs are reproducible")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function through the type info, seeing
+// through both selector calls (rand.Intn) and aliased imports.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// containsTimeNow reports whether any argument subtree calls time.Now.
+func containsTimeNow(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, inner)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

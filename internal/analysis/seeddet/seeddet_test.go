@@ -1,0 +1,12 @@
+package seeddet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seeddet"
+)
+
+func TestSeedDet(t *testing.T) {
+	analysistest.Run(t, seeddet.Analyzer, "testdata/src/seeddettest", "repro/internal/fixture/seeddettest")
+}

@@ -1,0 +1,23 @@
+// Package seeddettest exercises the seeddet analyzer.
+package seeddettest
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draws(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // explicit seed: allowed
+	v := rng.Float64()                    // method on *rand.Rand: allowed
+
+	v += rand.Float64()                // want `global math/rand.Float64`
+	_ = rand.Intn(10)                  // want `global math/rand.Intn`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock` `seeded from the wall clock`
+	rand.Seed(42)                                       // want `rand.Seed mutates the global math/rand source`
+
+	start := time.Now() // wall-clock measurement outside rand: allowed
+	_ = time.Since(start)
+	return v
+}

@@ -1,0 +1,12 @@
+package stateclone_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stateclone"
+)
+
+func TestStateClone(t *testing.T) {
+	analysistest.Run(t, stateclone.Analyzer, "testdata/src/stateclonetest", "repro/internal/fixture/stateclonetest")
+}

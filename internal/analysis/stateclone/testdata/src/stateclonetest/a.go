@@ -1,0 +1,47 @@
+// Package stateclonetest exercises the stateclone analyzer.
+package stateclonetest
+
+type vector []float64
+
+func (v vector) clone() vector {
+	out := make(vector, len(v))
+	copy(out, v)
+	return out
+}
+
+type stepper struct {
+	buf   vector
+	inner struct{ scratch []float64 }
+}
+
+var global []float64
+
+func (s *stepper) retainParam(x vector) {
+	s.buf = x // want `stores caller-provided slice "x"`
+}
+
+func (s *stepper) retainReslice(x []float64) {
+	s.inner.scratch = x[1:] // want `stores caller-provided slice "x"`
+}
+
+func (s *stepper) retainGlobal(x []float64) {
+	global = x // want `stores caller-provided slice "x"`
+}
+
+func (s *stepper) retainClone(x vector) {
+	s.buf = x.clone() // cloned: allowed
+}
+
+func (s *stepper) copyIn(x vector) {
+	copy(s.buf, x) // value copy: allowed
+}
+
+func (s *stepper) localOnly(x vector) float64 {
+	y := x // locals do not outlive the call: allowed
+	x[0] = 1
+	return y[0]
+}
+
+func freeFunc(x []float64) []float64 {
+	return x // constructors may hand ownership: allowed (no receiver)
+}

@@ -17,6 +17,10 @@ type Engine interface {
 	NodeVoltages(t float64, x, dst la.Vector) la.Vector
 	GatesSatisfied(t float64, x la.Vector) bool
 	Converged(t float64, x la.Vector, tol float64) bool
+	// VerifyState checks the runtime invariants (internal/invariant) on a
+	// post-clamp state, returning an *invariant.Violation naming device,
+	// index and step when a bound is blown.
+	VerifyState(t float64, step int, x la.Vector) error
 	Parameters() Params
 	NumGates() int
 	Counts() (freeNodes, memristors, vcdcgs int)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/invariant"
 	"repro/internal/la"
 	"repro/internal/memristor"
 	"repro/internal/ode"
@@ -91,7 +92,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 			s.gNow[br.memIdx] = p.Mem.G(memristor.Clamp(x[c.xOff()+br.memIdx]))
 		}
 	}
-	refactor := s.lu == nil || s.hAtLU != h
+	refactor := s.lu == nil || s.hAtLU != h //dmmvet:allow floateq — exact cache key: any change of h invalidates the C/h diagonal shift
 	if !refactor && s.RefactorTol > 0 {
 		for m := 0; m < c.nm; m++ {
 			if math.Abs(s.gNow[m]-s.gCache[m]) > s.RefactorTol*s.gCache[m] {
@@ -222,6 +223,25 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	if s.stats != nil {
 		s.stats.Steps++
 		s.stats.FEvals++
+	}
+	// Per-step in-loop checks (compiled out without the dmminvariant
+	// tag): the backward-Euler voltage solve must stay finite and inside
+	// the admissible envelope. The slow-state bounds are checked post-
+	// clamp by the driver's Verify hook, which sees the state after
+	// ClampState absorbs the one-step explicit overshoot.
+	if invariant.Enabled {
+		step := 0
+		if s.stats != nil {
+			step = s.stats.Steps
+		}
+		vb := VBoundFactor * p.Vc
+		if v := invariant.Range("voltage-bound", "free-node", step, t+h, s.vNew, -vb, vb); v != nil {
+			v.Index = c.nodeOfFree(v.Index)
+			return 0, v
+		}
+		if v := invariant.Finite("state", step, t+h, x); v != nil {
+			return 0, v
+		}
 	}
 	return 0, nil
 }

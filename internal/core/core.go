@@ -51,6 +51,9 @@ type Config struct {
 	// downsampled by TraceEvery.
 	TraceNodes int
 	TraceEvery int
+	// Verify enables per-step runtime invariant checking on every attempt
+	// (see internal/invariant); the cmds expose it as -check.
+	Verify bool
 }
 
 // DefaultConfig returns settings that solve the paper's small instances
@@ -143,6 +146,7 @@ func (cfg Config) options() solc.Options {
 	if cfg.FirstWin {
 		opts.Policy = solc.WinnerFirstDone
 	}
+	opts.Verify = cfg.Verify
 	return opts
 }
 

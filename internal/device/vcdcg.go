@@ -165,7 +165,7 @@ func (d VCDCG) SEquilibria(offset float64) []SRoot {
 			prev = cur
 			continue
 		}
-		if prev*cur <= 0 && cur != prev {
+		if cur == 0 || (prev < 0) != (cur < 0) {
 			a, b := lo+(hi-lo)*float64(k-1)/n, s
 			for it := 0; it < 80; it++ {
 				mid := 0.5 * (a + b)

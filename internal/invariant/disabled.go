@@ -1,0 +1,8 @@
+//go:build !dmminvariant
+
+package invariant
+
+// Enabled reports whether per-step invariant checking is compiled into
+// the integration hot loops (the dmminvariant build tag). When false the
+// checks behind it are dead code and cost nothing.
+const Enabled = false

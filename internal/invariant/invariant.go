@@ -1,0 +1,114 @@
+// Package invariant is the runtime half of the solver's correctness
+// tooling (the static half is cmd/dmmvet): cheap bound checks for the
+// quantities the paper's equilibrium argument relies on staying inside
+// the physically admissible region — node voltages bounded by a multiple
+// of vc, memristor internal states x ∈ [0,1] (Prop. VI.2), VCDCG
+// currents inside the clamped window (Prop. VI.5), and no NaN/Inf
+// anywhere. A blown bound becomes a structured Violation naming the
+// device family, index, step and value, instead of a silently diverging
+// trajectory.
+//
+// Per-step checking is compiled into the hot loops only under the
+// `dmminvariant` build tag (Enabled below); it is also switchable at run
+// time through solc.Options.Verify (the cmds' -check flag), and recorded
+// traces can be scanned post hoc with ScanTrace.
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Violation reports one violated runtime invariant. It implements error
+// and is extracted from wrapped chains with errors.As.
+type Violation struct {
+	// Check names the violated bound: "finite", "voltage-bound",
+	// "mem-state" or "current-bound".
+	Check string
+	// Device is the device family owning the value: "free-node",
+	// "memristor", "vcdcg-current", "vcdcg-bistable", or a trace label.
+	Device string
+	// Index identifies the device within its family (the circuit node
+	// number for voltages, the memristor/VCDCG index otherwise; the
+	// sample index for post-hoc trace scans).
+	Index int
+	// Step is the accepted integration step (or trace sample) at which
+	// the violation was detected.
+	Step int
+	// T is the dynamical time of the violating state.
+	T float64
+	// Value is the offending value; Lo and Hi delimit the admissible
+	// interval (both zero for pure finiteness checks).
+	Value  float64
+	Lo, Hi float64
+}
+
+func (v *Violation) Error() string {
+	if v.Check == "finite" {
+		return fmt.Sprintf("invariant violation at step %d (t=%.6g): %s %d is %v",
+			v.Step, v.T, v.Device, v.Index, v.Value)
+	}
+	return fmt.Sprintf("invariant violation at step %d (t=%.6g): %s %d %s: value %.6g outside [%.6g, %.6g]",
+		v.Step, v.T, v.Device, v.Index, v.Check, v.Value, v.Lo, v.Hi)
+}
+
+// Range checks vals[i] ∈ [lo, hi] for every i and returns a Violation for
+// the first value outside the interval (NaN counts as outside), or nil.
+func Range(check, device string, step int, t float64, vals []float64, lo, hi float64) *Violation {
+	for i, x := range vals {
+		if !(x >= lo && x <= hi) { // negated so NaN fails
+			return &Violation{
+				Check: check, Device: device, Index: i, Step: step, T: t,
+				Value: x, Lo: lo, Hi: hi,
+			}
+		}
+	}
+	return nil
+}
+
+// Finite checks that every value is neither NaN nor ±Inf.
+func Finite(device string, step int, t float64, vals []float64) *Violation {
+	for i, x := range vals {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return &Violation{
+				Check: "finite", Device: device, Index: i, Step: step, T: t,
+				Value: x,
+			}
+		}
+	}
+	return nil
+}
+
+// ScanTrace post-hoc checks a recorded trajectory (parallel time, label
+// and series slices, as produced by trace.Recorder) against a voltage
+// envelope: every sample of every series must be finite and inside
+// [lo, hi]. It returns every violating (series, sample) pair, attributing
+// Device to the series label and Step to the sample index.
+func ScanTrace(t []float64, labels []string, series [][]float64, lo, hi float64) []*Violation {
+	var out []*Violation
+	for k, s := range series {
+		label := fmt.Sprintf("series-%d", k)
+		if k < len(labels) {
+			label = labels[k]
+		}
+		for i, x := range s {
+			ti := 0.0
+			if i < len(t) {
+				ti = t[i]
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				out = append(out, &Violation{
+					Check: "finite", Device: label, Index: i, Step: i, T: ti, Value: x,
+				})
+				continue
+			}
+			if x < lo || x > hi {
+				out = append(out, &Violation{
+					Check: "voltage-bound", Device: label, Index: i, Step: i, T: ti,
+					Value: x, Lo: lo, Hi: hi,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package invariant
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRange(t *testing.T) {
+	cases := []struct {
+		name      string
+		vals      []float64
+		lo, hi    float64
+		wantIdx   int // -1: no violation
+		wantValue float64
+	}{
+		{"all inside", []float64{0, 0.5, 1}, 0, 1, -1, 0},
+		{"at bounds", []float64{0, 1}, 0, 1, -1, 0},
+		{"above hi", []float64{0.2, 1.0001, 0.3}, 0, 1, 1, 1.0001},
+		{"below lo", []float64{-0.5, 0.5}, 0, 1, 0, -0.5},
+		{"nan fails", []float64{0.5, math.NaN()}, 0, 1, 1, math.NaN()},
+		{"first of several", []float64{2, 3}, 0, 1, 0, 2},
+		{"empty", nil, 0, 1, -1, 0},
+		{"symmetric window", []float64{-1.4, 1.6}, -1.5, 1.5, 1, 1.6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := Range("current-bound", "vcdcg-current", 7, 3.25, tc.vals, tc.lo, tc.hi)
+			if tc.wantIdx < 0 {
+				if v != nil {
+					t.Fatalf("unexpected violation: %v", v)
+				}
+				return
+			}
+			if v == nil {
+				t.Fatal("expected a violation")
+			}
+			if v.Index != tc.wantIdx {
+				t.Errorf("Index = %d, want %d", v.Index, tc.wantIdx)
+			}
+			if v.Step != 7 || v.T != 3.25 {
+				t.Errorf("attribution Step=%d T=%g, want 7, 3.25", v.Step, v.T)
+			}
+			if !math.IsNaN(tc.wantValue) && v.Value != tc.wantValue {
+				t.Errorf("Value = %g, want %g", v.Value, tc.wantValue)
+			}
+			if v.Lo != tc.lo || v.Hi != tc.hi {
+				t.Errorf("bounds = [%g,%g], want [%g,%g]", v.Lo, v.Hi, tc.lo, tc.hi)
+			}
+		})
+	}
+}
+
+func TestFinite(t *testing.T) {
+	cases := []struct {
+		name    string
+		vals    []float64
+		wantIdx int
+	}{
+		{"clean", []float64{0, -1e300, 1e300}, -1},
+		{"nan", []float64{0, math.NaN()}, 1},
+		{"plus inf", []float64{math.Inf(1)}, 0},
+		{"minus inf", []float64{1, 2, math.Inf(-1)}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := Finite("free-node", 3, 1.5, tc.vals)
+			if tc.wantIdx < 0 {
+				if v != nil {
+					t.Fatalf("unexpected violation: %v", v)
+				}
+				return
+			}
+			if v == nil || v.Index != tc.wantIdx || v.Check != "finite" {
+				t.Fatalf("got %v, want finite violation at index %d", v, tc.wantIdx)
+			}
+		})
+	}
+}
+
+func TestViolationErrorNamesDeviceAndStep(t *testing.T) {
+	v := Range("mem-state", "memristor", 42, 9.5, []float64{1.25}, 0, 1)
+	if v == nil {
+		t.Fatal("expected a violation")
+	}
+	msg := v.Error()
+	for _, frag := range []string{"memristor 0", "step 42", "mem-state", "1.25"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("Error() = %q: missing %q", msg, frag)
+		}
+	}
+	// Violations participate in wrapped error chains.
+	wrapped := errors.Join(errors.New("integration failure"), v)
+	var got *Violation
+	if !errors.As(wrapped, &got) || got != v {
+		t.Error("errors.As failed to recover the *Violation")
+	}
+}
+
+func TestScanTrace(t *testing.T) {
+	tvals := []float64{0, 1, 2}
+	labels := []string{"v0", "v1"}
+	series := [][]float64{
+		{0.1, 0.9, 1.0},        // clean
+		{0.2, 1.7, math.NaN()}, // out of bounds at 1, NaN at 2
+	}
+	viols := ScanTrace(tvals, labels, series, -1.5, 1.5)
+	if len(viols) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(viols), viols)
+	}
+	if viols[0].Device != "v1" || viols[0].Step != 1 || viols[0].Check != "voltage-bound" || viols[0].T != 1 {
+		t.Errorf("first violation misattributed: %+v", viols[0])
+	}
+	if viols[1].Device != "v1" || viols[1].Step != 2 || viols[1].Check != "finite" {
+		t.Errorf("second violation misattributed: %+v", viols[1])
+	}
+
+	if got := ScanTrace(tvals, labels, [][]float64{{0, 1, -1}, {0.5, 0.5, 0.5}}, -1.5, 1.5); len(got) != 0 {
+		t.Errorf("clean trace produced violations: %v", got)
+	}
+}

@@ -57,6 +57,10 @@ type Driver struct {
 
 	// Observe, when non-nil, is invoked after every accepted step.
 	Observe func(t float64, x la.Vector)
+	// Verify, when non-nil, validates the state after every accepted step
+	// (after Observe, so post-clamp state is checked); a non-nil error —
+	// typically an *invariant.Violation — ends the run with StopError.
+	Verify func(t float64, x la.Vector) error
 	// Stop, when non-nil, is checked after every accepted step; returning
 	// true ends the run with StopCondition.
 	Stop func(t float64, x la.Vector) bool
@@ -165,6 +169,11 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 		steps++
 		if d.Observe != nil {
 			d.Observe(t, x)
+		}
+		if d.Verify != nil {
+			if err := d.Verify(t, x); err != nil {
+				return Result{T: t, Reason: StopError, Err: err}
+			}
 		}
 		if d.Stop != nil && d.Stop(t, x) {
 			return Result{T: t, Reason: StopCondition}

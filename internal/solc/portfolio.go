@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/boolcirc"
 	"repro/internal/circuit"
+	"repro/internal/invariant"
 	"repro/internal/la"
 	"repro/internal/ode"
 	"repro/internal/par"
@@ -288,6 +289,13 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 		Stop: func(t float64, x la.Vector) bool {
 			return t > eng.Parameters().TRise && eng.Converged(t, x, opts.ConvTol)
 		},
+	}
+	if opts.Verify || invariant.Enabled {
+		step := 0
+		driver.Verify = func(t float64, x la.Vector) error {
+			step++
+			return eng.VerifyState(t, step, x)
+		}
 	}
 	run := driver.Run(eng, 0, x)
 

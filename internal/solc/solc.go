@@ -156,6 +156,12 @@ type Options struct {
 	// Ctx, when non-nil, cancels the solve externally (nil means
 	// context.Background).
 	Ctx context.Context
+	// Verify enables per-step runtime invariant checking (voltage bounds,
+	// x ∈ [0,1], current window, finiteness — see internal/invariant) on
+	// every attempt; a blown bound fails the attempt with a structured
+	// *invariant.Violation instead of integrating a bad trajectory to the
+	// horizon. Always on when the binary is built with -tags dmminvariant.
+	Verify bool
 	// Observe, when non-nil, receives every accepted step's time and node
 	// voltages (for trajectory recording). A non-nil Observe forces
 	// sequential execution (Parallelism 1) so the callback never runs
