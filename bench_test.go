@@ -233,6 +233,51 @@ func BenchmarkScalingSubsetSum(b *testing.B) {
 	}
 }
 
+// ---- Sparse vs dense IMEX voltage solve ----
+
+// multiplier6 builds the 6-bit multiplier SOLC: 6-bit factor words with
+// the 12-bit product pinned to 2021 = 43 × 47 (171 gates, 171 free
+// nodes — the largest factorization instance the repo benchmarks).
+func multiplier6() *solc.Compiled {
+	bc := boolcirc.New()
+	p := bc.NewSignals(6)
+	q := bc.NewSignals(6)
+	prod := bc.Multiplier(p, q)
+	pins := map[boolcirc.Signal]bool{}
+	for i, s := range prod {
+		pins[s] = 2021&(1<<uint(i)) != 0
+	}
+	return solc.Compile(bc, pins, circuit.Default())
+}
+
+// benchIMEXStep measures one IMEX step on the 6-bit multiplier SOLC —
+// the steady-state cost the solve loop pays. Sparse runs the
+// symbolic-once la.SparseLU path (the default); dense the
+// partial-pivoting fallback.
+func benchIMEXStep(b *testing.B, dense bool) {
+	cs := multiplier6()
+	c := cs.Eng.(*circuit.Circuit)
+	x := c.InitialState(rand.New(rand.NewSource(1)))
+	st := circuit.NewIMEX(c, nil)
+	st.Dense = dense
+	h := 1e-3
+	if _, err := st.Step(c, 0, h, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Step(c, float64(i+1)*h, h, x); err != nil {
+			b.Fatal(err)
+		}
+		c.ClampState(x)
+	}
+}
+
+func BenchmarkIMEXStepSparse(b *testing.B) { benchIMEXStep(b, false) }
+
+func BenchmarkIMEXStepDense(b *testing.B) { benchIMEXStep(b, true) }
+
 // ---- Parallel restart portfolio (internal/solc pool) ----
 
 // BenchmarkParallelRestarts races the same four-restart factorization of

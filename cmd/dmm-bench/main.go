@@ -4,43 +4,95 @@
 // Usage:
 //
 //	dmm-bench -exp all
-//	dmm-bench -exp fig12 -tend 150 -attempts 4 [-check]
+//	dmm-bench -exp fig12 -tend 150 -attempts 4 [-check] [-dense]
 //	dmm-bench -exp scaling-factor -bits 6,8 -seeds 4
+//	dmm-bench -exp imex-sparse -json [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// The imex-sparse experiment benchmarks the sparse symbolic-once voltage
+// solve against the dense fallback on the 6-bit multiplier and, with
+// -json, writes the machine-readable BENCH_imex_sparse.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"testing"
+	"time"
 
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ode"
+	"repro/internal/solc"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c)")
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c, imex-sparse)")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon for dynamical experiments")
 	attempts := flag.Int("attempts", 4, "random restarts per instance")
 	seeds := flag.Int("seeds", 4, "ensemble size for scaling/ensemble experiments")
 	bitsFlag := flag.String("bits", "6,8", "bit widths for scaling-factor")
 	parallel := flag.Int("parallel", 0, "worker-pool width for ensembles and raced restarts (0 = GOMAXPROCS)")
 	check := flag.Bool("check", false, "verify runtime invariants on every integration step of the dynamical experiments (no build tag needed)")
+	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
+	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+			}
+		}()
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.TEnd = *tEnd
 	cfg.MaxAttempts = *attempts
 	cfg.Parallelism = *parallel
 	cfg.Verify = *check
+	cfg.Dense = *dense
 
 	var bits []int
 	for _, tok := range strings.Split(*bitsFlag, ",") {
 		b, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmm-bench: bad bits %q\n", tok)
-			os.Exit(1)
+			return 1
 		}
 		bits = append(bits, b)
 	}
@@ -104,6 +156,13 @@ func main() {
 	}
 
 	run := func(id string) bool {
+		if id == "imex-sparse" {
+			if err := imexSparse(*jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+				return false
+			}
+			return true
+		}
 		if fn, ok := static[id]; ok {
 			fmt.Println(fn().Render())
 			return true
@@ -122,10 +181,147 @@ func main() {
 			"energy", "sat3", "diversity", "ablation-c"} {
 			run(id)
 		}
-		return
+		return 0
 	}
 	if !run(*exp) {
 		fmt.Fprintf(os.Stderr, "dmm-bench: unknown experiment %q\n", *exp)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// pathStats is one solver path's measurements in BENCH_imex_sparse.json.
+type pathStats struct {
+	// NsPerStep, AllocsPerStep, BytesPerStep are steady-state per-IMEX-step
+	// costs from testing.Benchmark.
+	NsPerStep     int64 `json:"ns_per_step"`
+	AllocsPerStep int64 `json:"allocs_per_step"`
+	BytesPerStep  int64 `json:"bytes_per_step"`
+	// SolveWallNs, Steps, Refactors cover one fixed-horizon integration.
+	SolveWallNs int64 `json:"solve_wall_ns"`
+	Steps       int   `json:"steps"`
+	Refactors   int   `json:"refactors"`
+}
+
+// imexBench is the BENCH_imex_sparse.json document.
+type imexBench struct {
+	Name      string    `json:"name"`
+	Instance  string    `json:"instance"`
+	Gates     int       `json:"gates"`
+	StateDim  int       `json:"state_dim"`
+	NV        int       `json:"nv"`
+	NNZ       int       `json:"nnz"`
+	FactorNNZ int       `json:"factor_nnz"`
+	Sparse    pathStats `json:"sparse"`
+	Dense     pathStats `json:"dense"`
+	Speedup   float64   `json:"speedup"`
+}
+
+// mult6 compiles the 6-bit multiplier SOLC (12-bit product pinned to
+// 2021 = 43 × 47) — the instance bench_test.go's BenchmarkIMEXStep pair
+// measures.
+func mult6() *circuit.Circuit {
+	bc := boolcirc.New()
+	p := bc.NewSignals(6)
+	q := bc.NewSignals(6)
+	prod := bc.Multiplier(p, q)
+	pins := map[boolcirc.Signal]bool{}
+	for i, s := range prod {
+		pins[s] = 2021&(1<<uint(i)) != 0
+	}
+	return solc.Compile(bc, pins, circuit.Default()).Eng.(*circuit.Circuit)
+}
+
+// measurePath benchmarks one solver path: steady-state per-step cost plus
+// one fixed-horizon integration (20k steps of h = 1e-3).
+func measurePath(dense bool) pathStats {
+	var st pathStats
+	res := testing.Benchmark(func(b *testing.B) {
+		c := mult6()
+		x := c.InitialState(rand.New(rand.NewSource(1)))
+		s := circuit.NewIMEX(c, nil)
+		s.Dense = dense
+		h := 1e-3
+		if _, err := s.Step(c, 0, h, x); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Step(c, float64(i+1)*h, h, x); err != nil {
+				b.Fatal(err)
+			}
+			c.ClampState(x)
+		}
+	})
+	st.NsPerStep = res.NsPerOp()
+	st.AllocsPerStep = res.AllocsPerOp()
+	st.BytesPerStep = res.AllocedBytesPerOp()
+
+	c := mult6()
+	x := c.InitialState(rand.New(rand.NewSource(1)))
+	stats := &ode.Stats{}
+	s := circuit.NewIMEX(c, stats)
+	s.Dense = dense
+	h := 1e-3
+	start := time.Now()
+	for i := 0; i < 20000; i++ {
+		if _, err := s.Step(c, float64(i)*h, h, x); err != nil {
+			break
+		}
+		c.ClampState(x)
+	}
+	st.SolveWallNs = time.Since(start).Nanoseconds()
+	st.Steps = stats.Steps
+	st.Refactors = stats.Refactors
+	return st
+}
+
+// imexSparse runs the sparse-vs-dense voltage-solve comparison on the
+// 6-bit multiplier, prints a table, and optionally writes
+// BENCH_imex_sparse.json.
+func imexSparse(writeJSON bool) error {
+	c := mult6()
+	nv, nnz := c.NNZ()
+	doc := imexBench{
+		Name:      "imex_sparse",
+		Instance:  "6-bit multiplier (12-bit product pinned to 2021 = 43*47)",
+		Gates:     c.NumGates(),
+		StateDim:  c.Dim(),
+		NV:        nv,
+		NNZ:       nnz,
+		FactorNNZ: c.FactorNNZ(),
+		Sparse:    measurePath(false),
+		Dense:     measurePath(true),
+	}
+	doc.Speedup = float64(doc.Dense.NsPerStep) / float64(doc.Sparse.NsPerStep)
+
+	fmt.Printf("IMEX voltage solve: sparse symbolic-once vs dense LU\n")
+	fmt.Printf("instance: %s\n", doc.Instance)
+	fmt.Printf("gates=%d state_dim=%d nv=%d nnz=%d factor_nnz=%d\n\n",
+		doc.Gates, doc.StateDim, doc.NV, doc.NNZ, doc.FactorNNZ)
+	fmt.Printf("%-8s %14s %10s %12s %14s %8s %10s\n",
+		"path", "ns/step", "allocs/op", "B/op", "solve wall", "steps", "refactors")
+	for _, row := range []struct {
+		name string
+		p    pathStats
+	}{{"sparse", doc.Sparse}, {"dense", doc.Dense}} {
+		fmt.Printf("%-8s %14d %10d %12d %14s %8d %10d\n",
+			row.name, row.p.NsPerStep, row.p.AllocsPerStep, row.p.BytesPerStep,
+			time.Duration(row.p.SolveWallNs).Round(time.Millisecond), row.p.Steps, row.p.Refactors)
+	}
+	fmt.Printf("\nspeedup (dense/sparse ns per step): %.2fx\n", doc.Speedup)
+
+	if writeJSON {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		name := "BENCH_imex_sparse.json"
+		if err := os.WriteFile(name, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", name)
+	}
+	return nil
 }

@@ -32,6 +32,7 @@ func main() {
 	portfolio := flag.Bool("portfolio", false, "race the heterogeneous solver portfolio (IMEX-capacitive vs RK45-quasistatic)")
 	showTrace := flag.Bool("trace", false, "render factor-bit voltage trajectories")
 	check := flag.Bool("check", false, "verify runtime invariants per step and post-hoc scan the recorded trace (no build tag needed)")
+	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -42,6 +43,7 @@ func main() {
 	cfg.FirstWin = *firstWin
 	cfg.Deadline = *deadline
 	cfg.Verify = *check
+	cfg.Dense = *dense
 	if *portfolio {
 		cfg.Portfolio = solc.DefaultPortfolio()
 	}

@@ -33,6 +33,7 @@ func main() {
 	firstWin := flag.Bool("first-win", false, "first verified winner cancels all attempts")
 	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
 	portfolio := flag.Bool("portfolio", false, "race the heterogeneous solver portfolio across restarts")
+	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
 	flag.Parse()
 
 	var f boolcirc.CNF
@@ -83,6 +84,7 @@ func main() {
 	if *firstWin {
 		opts.Policy = solc.WinnerFirstDone
 	}
+	opts.Dense = *dense
 	var res solc.SATResult
 	var err error
 	if *portfolio {

@@ -29,6 +29,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "concurrently raced restarts (0 = GOMAXPROCS)")
 	firstWin := flag.Bool("first-win", false, "first verified winner cancels all attempts")
 	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
+	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
 	flag.Parse()
 
 	var values []uint64
@@ -48,6 +49,7 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.FirstWin = *firstWin
 	cfg.Deadline = *deadline
+	cfg.Dense = *dense
 	ss := core.NewSubsetSum(cfg)
 	res, err := ss.Solve(values, *target)
 	if err != nil {

@@ -22,10 +22,20 @@ type Circuit struct {
 	pinned   []bool // per node
 	freeIdx  []int  // node -> free-voltage state index, -1 when pinned
 
-	branches []branchRef
+	// DCM branches in structure-of-arrays form, split by kind; the j-th
+	// memristor branch owns state x[xOff+j].
+	memBr branchSet
+	resBr branchSet
+
 	dcgNodes []int // VCDCG k -> node
 
 	nv, nm, nd int // free nodes, memristors, VCDCGs
+
+	// plan is the Build-time stamp plan of the voltage system and symb its
+	// one-time symbolic factorization; both are immutable and shared by
+	// every engine instance over this circuit (see internal/circuit/stamp.go).
+	plan *stampPlan
+	symb *la.SparseLU
 
 	// scratch buffers (Derivative is called on one goroutine at a time).
 	nodeV la.Vector
@@ -35,15 +45,6 @@ type Circuit struct {
 type pin struct {
 	node int
 	src  device.RampSource
-}
-
-type branchRef struct {
-	gi     int // gate instance
-	node   int // terminal node
-	vcvg   device.VCVG
-	sigma  float64
-	mem    bool
-	memIdx int // index into x block, -1 for resistor branches
 }
 
 // Build compiles the builder's contents. Every non-pinned node receives a
@@ -79,29 +80,48 @@ func (b *Builder) Build() *Circuit {
 		}
 	}
 	c.nd = len(c.dcgNodes)
-	for gi, inst := range b.gates {
+	for _, inst := range b.gates {
+		var slots [3]int32
+		if len(inst.nodes) == 2 {
+			slots = [3]int32{int32(inst.nodes[0]), -1, int32(inst.nodes[1])}
+		} else {
+			slots = [3]int32{int32(inst.nodes[0]), int32(inst.nodes[1]), int32(inst.nodes[2])}
+		}
 		for t, node := range inst.nodes {
 			for _, br := range inst.gate.DCMs[t].Branches {
-				ref := branchRef{
-					gi:    gi,
-					node:  int(node),
-					vcvg:  br.L,
-					sigma: br.Sigma,
-					mem:   br.Mem,
-				}
+				set := &c.resBr
 				if br.Mem {
-					ref.memIdx = c.nm
+					set = &c.memBr
 					c.nm++
-				} else {
-					ref.memIdx = -1
 				}
-				c.branches = append(c.branches, ref)
+				set.add(int(node), c.freeIdx[node], slots, br.L, br.Sigma, br.Mem)
 			}
 		}
+	}
+	c.plan = c.buildPlan()
+	var err error
+	if c.symb, err = la.NewSparseLU(c.plan.csr); err != nil {
+		// The shift diagonal makes the pattern structurally nonsingular;
+		// reaching this indicates a stamp-plan bug, not a user error.
+		panic(fmt.Sprintf("circuit: symbolic factorization failed: %v", err))
 	}
 	c.nodeV = la.NewVector(c.numNodes)
 	c.curr = la.NewVector(c.numNodes)
 	return c
+}
+
+// fillConductances writes the per-branch conductance buffer in plan order:
+// g[0:nm] the memristor branches evaluated at the clamped states starting
+// at x[xOff], g[nm:] the resistor branches at 1/R.
+func (c *Circuit) fillConductances(g la.Vector, x la.Vector, xOff int) {
+	p := &c.Params
+	for m := 0; m < c.nm; m++ {
+		g[m] = p.Mem.G(memristor.Clamp(x[xOff+m]))
+	}
+	invR := 1 / p.R
+	for j := c.nm; j < len(g); j++ {
+		g[j] = invR
+	}
 }
 
 // Dim returns the ODE state dimension.
@@ -158,19 +178,20 @@ func (c *Circuit) Derivative(t float64, x, dxdt la.Vector) {
 	xOff, iOff, sOff := c.xOff(), c.iOff(), c.sOff()
 
 	// DCM branches: currents into nodes plus memristor state equations.
-	for bi := range c.branches {
-		br := &c.branches[bi]
-		v1, v2, vo := c.terminalVoltages(br.gi, nodeV)
-		l := br.vcvg.Eval(v1, v2, vo)
-		d := nodeV[br.node] - l
-		if br.mem {
-			xi := memristor.Clamp(x[xOff+br.memIdx])
-			g := p.Mem.G(xi)
-			curr[br.node] += g * d
-			dxdt[xOff+br.memIdx] = p.Mem.DxDt(xi, br.sigma*d)
-		} else {
-			curr[br.node] += d / p.R
-		}
+	// The sets are walked separately so each loop body is branch-free.
+	mb := &c.memBr
+	for j := 0; j < mb.len(); j++ {
+		d := nodeV[mb.node[j]] - mb.level(j, nodeV)
+		xi := memristor.Clamp(x[xOff+j])
+		g := p.Mem.G(xi)
+		curr[mb.node[j]] += g * d
+		dxdt[xOff+j] = p.Mem.DxDt(xi, mb.sigma[j]*d)
+	}
+	rb := &c.resBr
+	invR := 1 / p.R
+	for j := 0; j < rb.len(); j++ {
+		d := nodeV[rb.node[j]] - rb.level(j, nodeV)
+		curr[rb.node[j]] += d * invR
 	}
 
 	// VCDCGs: current balance plus (i, s) dynamics. The f_s offset couples

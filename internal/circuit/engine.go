@@ -29,9 +29,10 @@ type Engine interface {
 	Clone() Engine
 }
 
-// Clone shares the compiled topology (gates, branches, pins — all
-// read-only during integration) and reallocates only the evaluation
-// scratch, so concurrent attempts never write a common la.Vector.
+// Clone shares the compiled topology (gates, branch sets, pins, stamp
+// plan, symbolic factorization — all read-only during integration) and
+// reallocates only the evaluation scratch, so concurrent attempts never
+// write a common la.Vector.
 func (c *Circuit) Clone() Engine {
 	cp := *c
 	cp.nodeV = la.NewVector(c.numNodes)
@@ -40,15 +41,20 @@ func (c *Circuit) Clone() Engine {
 }
 
 // Clone duplicates the engine with a private Kirchhoff solve workspace and
-// an empty factorization cache.
+// an empty factorization cache; the stamp plan and symbolic analysis stay
+// shared through the cloned *Circuit.
 func (q *QuasiStatic) Clone() Engine {
 	cq := *q
 	cq.C = q.C.Clone().(*Circuit)
+	nBranch := q.C.memBr.len() + q.C.resBr.len()
+	cq.g = la.NewVector(nBranch)
 	cq.gCache = la.NewVector(q.C.nm)
-	cq.gNow = la.NewVector(q.C.nm)
-	cq.aMat = la.NewDense(q.C.nv, q.C.nv)
 	cq.rhs = la.NewVector(q.C.nv)
+	cq.vSol = la.NewVector(q.C.nv)
 	cq.nodeV = la.NewVector(q.C.numNodes)
+	cq.csr = nil
+	cq.slu = nil
+	cq.aMat = nil
 	cq.lu = nil
 	cq.haveLU = false
 	cq.Refacts = 0

@@ -24,6 +24,12 @@ import (
 // (ill-conditioning). Unconditional stability in v lets the step size
 // track the slow physics.
 //
+// The linear solve runs on the circuit's Build-time stamp plan and shared
+// symbolic factorization (internal/circuit/stamp.go, la.SparseLU): each
+// row of A couples a node only to the terminals sharing its gates, so the
+// system is sparse and a numeric refactorization costs O(fill) instead of
+// the dense O(nv³). Dense selects the dense-LU fallback for A/B runs.
+//
 // IMEXStepper implements ode.Stepper but is bound to one *Circuit: the sys
 // argument of Step must be that circuit.
 type IMEXStepper struct {
@@ -31,18 +37,30 @@ type IMEXStepper struct {
 	stats *ode.Stats
 
 	// RefactorTol is the relative conductance drift that triggers a new
-	// LU factorization of (C/h·I + A). The diagonal shift makes modest
+	// factorization of (C/h·I + A). The diagonal shift makes modest
 	// staleness harmless; 0 refactors every step.
 	RefactorTol float64
 
-	aMat   *la.Dense
-	lu     *la.LU
-	gCache la.Vector
-	gNow   la.Vector
+	// Dense selects the dense partial-pivoting LU instead of the sparse
+	// symbolic-once path (the -dense A/B comparator).
+	Dense bool
+
+	// sparse path: private values over the shared pattern, private numeric
+	// factors over the shared symbolic analysis.
+	csr *la.CSR
+	slu *la.SparseLU
+	// dense path
+	aMat *la.Dense
+	lu   *la.LU
+
+	haveFactor bool
+	hAtFactor  float64
+
+	g      la.Vector // per-branch conductances in plan order [mem | resistor]
+	gCache la.Vector // memristor part at the last factorization
 	rhs    la.Vector
 	nodeV  la.Vector
 	vNew   la.Vector
-	hAtLU  float64
 
 	// energy accumulates the dissipated energy ∫ Σ_b g_b·d_b² dt over the
 	// resistive branches (Sec. VI-I's polynomial-energy accounting).
@@ -56,15 +74,16 @@ func (s *IMEXStepper) Energy() float64 { return s.energy }
 // ResetEnergy zeroes the dissipation accumulator.
 func (s *IMEXStepper) ResetEnergy() { s.energy = 0 }
 
-// NewIMEX returns an IMEX stepper bound to c.
+// NewIMEX returns an IMEX stepper bound to c, using the sparse
+// symbolic-once solve; set Dense before the first Step for the dense
+// fallback.
 func NewIMEX(c *Circuit, stats *ode.Stats) *IMEXStepper {
 	return &IMEXStepper{
 		c:           c,
 		stats:       stats,
 		RefactorTol: 5e-3,
-		aMat:        la.NewDense(c.nv, c.nv),
+		g:           la.NewVector(c.memBr.len() + c.resBr.len()),
 		gCache:      la.NewVector(c.nm),
-		gNow:        la.NewVector(c.nm),
 		rhs:         la.NewVector(c.nv),
 		nodeV:       la.NewVector(c.numNodes),
 		vNew:        la.NewVector(c.nv),
@@ -77,6 +96,69 @@ func (s *IMEXStepper) Name() string { return "imex" }
 // Adaptive reports false: the stepper runs at the driver's fixed h.
 func (s *IMEXStepper) Adaptive() bool { return false }
 
+// needRefactor reports whether the cached factorization of (C/h·I + A)
+// must be refreshed for a step of size h: there is none yet, the step
+// size (and with it the diagonal shift) changed, staleness is disabled
+// (RefactorTol ≤ 0 refreshes every step), or some memristor conductance
+// drifted beyond the relative tolerance since the last factorization.
+func (s *IMEXStepper) needRefactor(h float64) bool {
+	if !s.haveFactor || s.RefactorTol <= 0 {
+		return true
+	}
+	if s.hAtFactor != h { //dmmvet:allow floateq — exact cache key: any change of h invalidates the C/h diagonal shift
+		return true
+	}
+	return conductanceDrift(s.g[:s.c.nm], s.gCache, s.RefactorTol)
+}
+
+// conductanceDrift reports whether any entry of gNow has moved more than
+// tol (relative) from the cached value it was factorized at.
+func conductanceDrift(gNow, gCache la.Vector, tol float64) bool {
+	for m := range gNow {
+		if math.Abs(gNow[m]-gCache[m]) > tol*gCache[m] {
+			return true
+		}
+	}
+	return false
+}
+
+// factorize assembles shift·I + A(g) through the stamp plan and factors it
+// on the selected path.
+func (s *IMEXStepper) factorize(shift float64) error {
+	c := s.c
+	if s.Dense {
+		if s.aMat == nil {
+			s.aMat = la.NewDense(c.nv, c.nv)
+		}
+		c.plan.assemble(s.aMat.Data, true, shift, s.g)
+		lu, err := la.Factorize(s.aMat)
+		if err != nil {
+			return err
+		}
+		s.lu = lu
+		return nil
+	}
+	if s.slu == nil {
+		s.csr = c.plan.valCSR()
+		slu, err := c.symb.CloneFor(s.csr)
+		if err != nil {
+			return err
+		}
+		s.slu = slu
+	}
+	c.plan.assemble(s.csr.Val, false, shift, s.g)
+	return s.slu.Refactor()
+}
+
+// solveInto solves the factored voltage system.
+func (s *IMEXStepper) solveInto(dst, rhs la.Vector) {
+	if s.Dense {
+		s.lu.SolveInto(dst, rhs)
+		return
+	}
+	s.slu.SolveInto(dst, rhs)
+}
+
 // Step advances the circuit state by h.
 func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, error) {
 	c := s.c
@@ -86,23 +168,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	p := &c.Params
 
 	// Conductances for the current memristor states.
-	for bi := range c.branches {
-		br := &c.branches[bi]
-		if br.mem {
-			s.gNow[br.memIdx] = p.Mem.G(memristor.Clamp(x[c.xOff()+br.memIdx]))
-		}
-	}
-	refactor := s.lu == nil || s.hAtLU != h //dmmvet:allow floateq — exact cache key: any change of h invalidates the C/h diagonal shift
-	if !refactor && s.RefactorTol > 0 {
-		for m := 0; m < c.nm; m++ {
-			if math.Abs(s.gNow[m]-s.gCache[m]) > s.RefactorTol*s.gCache[m] {
-				refactor = true
-				break
-			}
-		}
-	} else if !refactor {
-		refactor = true // RefactorTol <= 0: always refresh
-	}
+	c.fillConductances(s.g, x, c.xOff())
 
 	// Node voltages at time t+h for pinned nodes; free from state.
 	for n := 0; n < c.numNodes; n++ {
@@ -116,53 +182,22 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 		s.nodeV[pn.node] = pn.src.V(t + h)
 	}
 
-	// Assemble (C/h·I + A) and b.
+	// Assemble (C/h·I + A) and b through the stamp plan.
 	shift := p.C / h
-	if refactor {
-		s.aMat.Zero()
-		for f := 0; f < c.nv; f++ {
-			s.aMat.Set(f, f, shift)
+	if s.needRefactor(h) {
+		if err := s.factorize(shift); err != nil {
+			return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+		}
+		s.gCache.CopyFrom(s.g[:c.nm])
+		s.hAtFactor = h
+		s.haveFactor = true
+		if s.stats != nil {
+			s.stats.JacEvals++
+			s.stats.Refactors++
 		}
 	}
 	s.rhs.Zero()
-	for bi := range c.branches {
-		br := &c.branches[bi]
-		fi := c.freeIdx[br.node]
-		if fi < 0 {
-			continue
-		}
-		var g float64
-		if br.mem {
-			g = s.gNow[br.memIdx]
-		} else {
-			g = 1 / p.R
-		}
-		if refactor {
-			s.aMat.Addf(fi, fi, g)
-		}
-		inst := c.gates[br.gi]
-		coeffs := [3]float64{br.vcvg.A1, br.vcvg.A2, br.vcvg.Ao}
-		var slots [3]int
-		if len(inst.nodes) == 2 {
-			slots = [3]int{int(inst.nodes[0]), -1, int(inst.nodes[1])}
-		} else {
-			slots = [3]int{int(inst.nodes[0]), int(inst.nodes[1]), int(inst.nodes[2])}
-		}
-		for k := 0; k < 3; k++ {
-			coefK := coeffs[k]
-			if coefK == 0 || slots[k] < 0 {
-				continue
-			}
-			if sf := c.freeIdx[slots[k]]; sf >= 0 {
-				if refactor {
-					s.aMat.Addf(fi, sf, -g*coefK)
-				}
-			} else {
-				s.rhs[fi] += g * coefK * s.nodeV[slots[k]]
-			}
-		}
-		s.rhs[fi] += g * br.vcvg.DC
-	}
+	c.plan.assembleRHS(s.rhs, s.g, s.nodeV)
 	for k, node := range c.dcgNodes {
 		if fi := c.freeIdx[node]; fi >= 0 {
 			s.rhs[fi] -= x[c.iOff()+k]
@@ -171,19 +206,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	for f := 0; f < c.nv; f++ {
 		s.rhs[f] += shift * x[c.vOff()+f]
 	}
-	if refactor {
-		lu, err := la.Factorize(s.aMat)
-		if err != nil {
-			return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
-		}
-		s.lu = lu
-		s.gCache.CopyFrom(s.gNow)
-		s.hAtLU = h
-		if s.stats != nil {
-			s.stats.JacEvals++
-		}
-	}
-	s.lu.SolveInto(s.vNew, s.rhs)
+	s.solveInto(s.vNew, s.rhs)
 
 	// Updated full node-voltage view.
 	for n := 0; n < c.numNodes; n++ {
@@ -195,18 +218,19 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	// Explicit updates of the slow states using the new voltages, plus
 	// the dissipation tally g·d² per branch.
 	var power float64
-	for bi := range c.branches {
-		br := &c.branches[bi]
-		v1, v2, vo := c.terminalVoltages(br.gi, s.nodeV)
-		d := s.nodeV[br.node] - br.vcvg.Eval(v1, v2, vo)
-		if !br.mem {
-			power += d * d / p.R
-			continue
-		}
-		xi := memristor.Clamp(x[c.xOff()+br.memIdx])
-		g := s.gNow[br.memIdx]
+	mb := &c.memBr
+	for j := 0; j < mb.len(); j++ {
+		d := s.nodeV[mb.node[j]] - mb.level(j, s.nodeV)
+		xi := memristor.Clamp(x[c.xOff()+j])
+		g := s.g[j]
 		power += g * d * d
-		x[c.xOff()+br.memIdx] = memristor.Clamp(xi + h*p.Mem.DxDt(xi, br.sigma*d))
+		x[c.xOff()+j] = memristor.Clamp(xi + h*p.Mem.DxDt(xi, mb.sigma[j]*d))
+	}
+	rb := &c.resBr
+	invR := 1 / p.R
+	for j := 0; j < rb.len(); j++ {
+		d := s.nodeV[rb.node[j]] - rb.level(j, s.nodeV)
+		power += d * d * invR
 	}
 	s.energy += h * power
 	offset := p.DCG.FsOffset(x[c.iOff() : c.iOff()+c.nd])

@@ -19,8 +19,11 @@ import (
 //
 // At every right-hand-side evaluation the linear Kirchhoff system
 // A(x)·v = b(x, i, t) is solved for the free-node voltages; A depends only
-// on the memristor conductances, so its LU factorization is cached and
-// refreshed when any conductance drifts beyond a relative threshold.
+// on the memristor conductances, so its factorization is cached and
+// refreshed when any conductance drifts beyond a relative threshold. The
+// solve shares the capacitive engine's stamp plan and one-time symbolic
+// factorization (internal/circuit/stamp.go) with the tiny g_leak diagonal
+// shift in place of C/h; Dense selects the dense-LU fallback.
 type QuasiStatic struct {
 	C *Circuit
 
@@ -29,19 +32,26 @@ type QuasiStatic struct {
 	gLeak float64
 
 	// RefactorTol is the relative conductance drift above which the cached
-	// LU factorization is refreshed. Zero means refactor on every
+	// factorization is refreshed. Zero means refactor on every
 	// evaluation: exact voltages, no derivative discontinuities (the
 	// adaptive error estimator otherwise rejects steps across cache
 	// boundaries). Nonzero values trade accuracy for speed on large
 	// circuits.
 	RefactorTol float64
 
+	// Dense selects the dense partial-pivoting LU instead of the sparse
+	// symbolic-once path (the -dense A/B comparator).
+	Dense bool
+
 	// factorization cache
-	lu      *la.LU
-	gCache  la.Vector // conductance per memristor branch at factorization
-	gNow    la.Vector
-	aMat    *la.Dense
+	csr     *la.CSR      // sparse path: private values over the shared pattern
+	slu     *la.SparseLU // sparse path: private numerics over the shared symbolic
+	aMat    *la.Dense    // dense path
+	lu      *la.LU       // dense path
+	g       la.Vector    // per-branch conductances in plan order [mem | resistor]
+	gCache  la.Vector    // memristor part at factorization
 	rhs     la.Vector
+	vSol    la.Vector
 	nodeV   la.Vector
 	haveLU  bool
 	Refacts int // factorization count (observability)
@@ -53,10 +63,10 @@ func (b *Builder) BuildQS() *QuasiStatic {
 	q := &QuasiStatic{
 		C:      c,
 		gLeak:  1e-9,
+		g:      la.NewVector(c.memBr.len() + c.resBr.len()),
 		gCache: la.NewVector(c.nm),
-		gNow:   la.NewVector(c.nm),
-		aMat:   la.NewDense(c.nv, c.nv),
 		rhs:    la.NewVector(c.nv),
+		vSol:   la.NewVector(c.nv),
 		nodeV:  la.NewVector(c.numNodes),
 	}
 	return q
@@ -76,29 +86,43 @@ func (q *QuasiStatic) xOff() int { return 0 }
 func (q *QuasiStatic) iOff() int { return q.C.nm }
 func (q *QuasiStatic) sOff() int { return q.C.nm + q.C.nd }
 
+// factorize assembles g_leak·I + A(g) through the stamp plan and factors
+// it on the selected path.
+func (q *QuasiStatic) factorize() error {
+	c := q.C
+	if q.Dense {
+		if q.aMat == nil {
+			q.aMat = la.NewDense(c.nv, c.nv)
+		}
+		c.plan.assemble(q.aMat.Data, true, q.gLeak, q.g)
+		lu, err := la.Factorize(q.aMat)
+		if err != nil {
+			return err
+		}
+		q.lu = lu
+		return nil
+	}
+	if q.slu == nil {
+		q.csr = c.plan.valCSR()
+		slu, err := c.symb.CloneFor(q.csr)
+		if err != nil {
+			return err
+		}
+		q.slu = slu
+	}
+	c.plan.assemble(q.csr.Val, false, q.gLeak, q.g)
+	return q.slu.Refactor()
+}
+
 // solveVoltages computes the free-node voltages for the given reduced
 // state, writing the full node-voltage vector into q.nodeV.
 func (q *QuasiStatic) solveVoltages(t float64, x la.Vector) error {
 	c := q.C
-	p := &c.Params
-	// Current conductances.
-	for bi := range c.branches {
-		br := &c.branches[bi]
-		if !br.mem {
-			continue
-		}
-		q.gNow[br.memIdx] = p.Mem.G(memristor.Clamp(x[q.xOff()+br.memIdx]))
-	}
+	// Current conductances (memristor branches from state, resistors 1/R).
+	c.fillConductances(q.g, x, q.xOff())
 	// Decide whether the cached factorization is still valid.
-	refactor := !q.haveLU || q.RefactorTol <= 0
-	if !refactor {
-		for m := 0; m < c.nm; m++ {
-			if math.Abs(q.gNow[m]-q.gCache[m]) > q.RefactorTol*q.gCache[m] {
-				refactor = true
-				break
-			}
-		}
-	}
+	refactor := !q.haveLU || q.RefactorTol <= 0 ||
+		conductanceDrift(q.g[:c.nm], q.gCache, q.RefactorTol)
 	// Pinned node voltages at time t.
 	for n := 0; n < c.numNodes; n++ {
 		q.nodeV[n] = 0
@@ -106,77 +130,31 @@ func (q *QuasiStatic) solveVoltages(t float64, x la.Vector) error {
 	for _, pn := range c.pins {
 		q.nodeV[pn.node] = pn.src.V(t)
 	}
-	// Assemble the right-hand side (and the matrix when refactoring).
 	if refactor {
-		q.aMat.Zero()
-		for f := 0; f < c.nv; f++ {
-			q.aMat.Set(f, f, q.gLeak)
+		if err := q.factorize(); err != nil {
+			return fmt.Errorf("circuit: quasi-static KCL system singular: %w", err)
 		}
+		q.gCache.CopyFrom(q.g[:c.nm])
+		q.haveLU = true
+		q.Refacts++
 	}
+	// Right-hand side: branch VCVG couplings through pinned terminals plus
+	// DC terms, then the VCDCG currents leaving their nodes.
 	q.rhs.Zero()
-	for bi := range c.branches {
-		br := &c.branches[bi]
-		fi := c.freeIdx[br.node]
-		if fi < 0 {
-			continue // pinned terminal: its KCL row is absorbed by the source
-		}
-		var g float64
-		if br.mem {
-			g = q.gNow[br.memIdx]
-		} else {
-			g = 1 / p.R
-		}
-		if refactor {
-			q.aMat.Addf(fi, fi, g)
-		}
-		// Branch current g·(v_n - L), with L = a1·v1 + a2·v2 + ao·vo + dc
-		// over the gate's terminal slots.
-		inst := c.gates[br.gi]
-		coeffs := [3]float64{br.vcvg.A1, br.vcvg.A2, br.vcvg.Ao}
-		slots := [3]int{-1, -1, -1}
-		if len(inst.nodes) == 2 {
-			slots[0] = int(inst.nodes[0])
-			slots[2] = int(inst.nodes[1])
-		} else {
-			for k := 0; k < 3; k++ {
-				slots[k] = int(inst.nodes[k])
-			}
-		}
-		for k := 0; k < 3; k++ {
-			coefK := coeffs[k]
-			if coefK == 0 || slots[k] < 0 {
-				continue
-			}
-			if sf := c.freeIdx[slots[k]]; sf >= 0 {
-				if refactor {
-					q.aMat.Addf(fi, sf, -g*coefK)
-				}
-			} else {
-				q.rhs[fi] += g * coefK * q.nodeV[slots[k]]
-			}
-		}
-		q.rhs[fi] += g * br.vcvg.DC
-	}
-	// VCDCG currents leave their nodes.
+	c.plan.assembleRHS(q.rhs, q.g, q.nodeV)
 	for k, node := range c.dcgNodes {
 		if fi := c.freeIdx[node]; fi >= 0 {
 			q.rhs[fi] -= x[q.iOff()+k]
 		}
 	}
-	if refactor {
-		lu, err := la.Factorize(q.aMat)
-		if err != nil {
-			return fmt.Errorf("circuit: quasi-static KCL system singular: %w", err)
-		}
-		q.lu = lu
-		q.gCache.CopyFrom(q.gNow)
-		q.haveLU = true
-		q.Refacts++
+	if q.Dense {
+		q.lu.SolveInto(q.vSol, q.rhs)
+	} else {
+		q.slu.SolveInto(q.vSol, q.rhs)
 	}
-	v := q.lu.Solve(q.rhs)
 	for n := 0; n < c.numNodes; n++ {
 		if fi := c.freeIdx[n]; fi >= 0 {
-			q.nodeV[n] = v[fi]
+			q.nodeV[n] = q.vSol[fi]
 		}
 	}
 	return nil
@@ -192,15 +170,11 @@ func (q *QuasiStatic) Derivative(t float64, x, dxdt la.Vector) {
 		return
 	}
 	nodeV := q.nodeV
-	for bi := range c.branches {
-		br := &c.branches[bi]
-		if !br.mem {
-			continue
-		}
-		v1, v2, vo := c.terminalVoltages(br.gi, nodeV)
-		d := nodeV[br.node] - br.vcvg.Eval(v1, v2, vo)
-		xi := memristor.Clamp(x[q.xOff()+br.memIdx])
-		dxdt[q.xOff()+br.memIdx] = p.Mem.DxDt(xi, br.sigma*d)
+	mb := &c.memBr
+	for j := 0; j < mb.len(); j++ {
+		d := nodeV[mb.node[j]] - mb.level(j, nodeV)
+		xi := memristor.Clamp(x[q.xOff()+j])
+		dxdt[q.xOff()+j] = p.Mem.DxDt(xi, mb.sigma[j]*d)
 	}
 	offset := p.DCG.FsOffset(x[q.iOff() : q.iOff()+c.nd])
 	for k, node := range c.dcgNodes {

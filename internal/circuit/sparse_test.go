@@ -1,0 +1,194 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/solg"
+)
+
+// buildMixed returns a small capacitive circuit exercising every stamp
+// case: 3-terminal gates, a NOT gate (unused v2 slot), pinned and free
+// terminals.
+func buildMixed(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder(Default())
+	n := b.Nodes(5)
+	b.AddGate(solg.AND, n[0], n[1], n[2])
+	b.AddGate(solg.XOR, n[1], n[2], n[3])
+	b.AddNot(n[3], n[4])
+	b.PinBit(n[4], true)
+	return b.Build()
+}
+
+// TestNeedRefactorPredicate is the table test pinning the refactor
+// decision: a missing factorization, a changed step size, a disabled
+// staleness tolerance, or a conductance drift beyond tolerance each force
+// a refresh; staleness within tolerance does not.
+func TestNeedRefactorPredicate(t *testing.T) {
+	c := buildMixed(t)
+	cases := []struct {
+		name       string
+		haveFactor bool
+		hAtFactor  float64
+		h          float64
+		tol        float64
+		drift      float64 // relative drift applied to g[0] vs gCache
+		want       bool
+	}{
+		{"no factorization yet", false, 0, 1e-3, 5e-3, 0, true},
+		{"cached, same h, no drift", true, 1e-3, 1e-3, 5e-3, 0, false},
+		{"step size changed", true, 1e-3, 2e-3, 5e-3, 0, true},
+		{"tolerance zero refreshes every step", true, 1e-3, 1e-3, 0, 0, true},
+		{"tolerance negative refreshes every step", true, 1e-3, 1e-3, -1, 0, true},
+		{"drift beyond tolerance", true, 1e-3, 1e-3, 5e-3, 8e-3, true},
+		{"drift within tolerance", true, 1e-3, 1e-3, 5e-3, 3e-3, false},
+	}
+	for _, tc := range cases {
+		s := NewIMEX(c, nil)
+		s.RefactorTol = tc.tol
+		s.haveFactor = tc.haveFactor
+		s.hAtFactor = tc.hAtFactor
+		for m := 0; m < c.nm; m++ {
+			s.gCache[m] = 1
+			s.g[m] = 1
+		}
+		s.g[0] = 1 + tc.drift
+		if got := s.needRefactor(tc.h); got != tc.want {
+			t.Errorf("%s: needRefactor = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestIMEXSparseMatchesDenseTrajectory steps the same circuit state with
+// the sparse and dense solvers and requires the trajectories to agree to
+// solver precision — the two paths factor the identical operator.
+func TestIMEXSparseMatchesDenseTrajectory(t *testing.T) {
+	c1 := buildMixed(t)
+	c2 := buildMixed(t)
+	x1 := c1.InitialState(rand.New(rand.NewSource(5)))
+	x2 := x1.Clone()
+	sp := NewIMEX(c1, nil)
+	dn := NewIMEX(c2, nil)
+	dn.Dense = true
+	// Refactor every step so both paths factor at identical conductances.
+	sp.RefactorTol = 0
+	dn.RefactorTol = 0
+	h := 1e-3
+	for k := 0; k < 500; k++ {
+		tNow := float64(k) * h
+		if _, err := sp.Step(c1, tNow, h, x1); err != nil {
+			t.Fatalf("sparse step %d: %v", k, err)
+		}
+		if _, err := dn.Step(c2, tNow, h, x2); err != nil {
+			t.Fatalf("dense step %d: %v", k, err)
+		}
+		c1.ClampState(x1)
+		c2.ClampState(x2)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("state diverged at %d: sparse %v dense %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+// TestQSSparseMatchesDenseVoltages solves the quasi-static Kirchhoff
+// system for random reduced states on both paths and compares voltages.
+func TestQSSparseMatchesDenseVoltages(t *testing.T) {
+	mk := func() *QuasiStatic {
+		b := NewBuilder(Default())
+		n := b.Nodes(4)
+		b.AddGate(solg.OR, n[0], n[1], n[2])
+		b.AddGate(solg.NAND, n[1], n[2], n[3])
+		b.PinBit(n[3], false)
+		return b.BuildQS()
+	}
+	qs, qd := mk(), mk()
+	qd.Dense = true
+	qs.RefactorTol, qd.RefactorTol = 0, 0
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		x := qs.InitialState(rng)
+		for m := 0; m < qs.C.nm; m++ {
+			x[m] = rng.Float64()
+		}
+		vs := qs.NodeVoltages(1.5, x, nil)
+		vd := qd.NodeVoltages(1.5, x, nil)
+		for n := range vs {
+			if math.Abs(vs[n]-vd[n]) > 1e-9 {
+				t.Fatalf("trial %d node %d: sparse %v dense %v", trial, n, vs[n], vd[n])
+			}
+		}
+	}
+}
+
+// TestStampPlanMatchesDerivative cross-checks the stamp plan against the
+// explicit Derivative: at any state, A·v + rhs-terms must reproduce the
+// capacitive currents, i.e. the backward-Euler residual of a zero-size
+// step vanishes. A direct way to test it: assemble A and b at shift=0 and
+// verify A·v - b equals -C·v̇ on the free nodes.
+func TestStampPlanMatchesDerivative(t *testing.T) {
+	c := buildMixed(t)
+	rng := rand.New(rand.NewSource(2))
+	x := c.InitialState(rng)
+	tNow := 0.7
+
+	// Left side: A(g)·v - b via the stamp plan at shift 0.
+	g := la.NewVector(c.memBr.len() + c.resBr.len())
+	c.fillConductances(g, x, c.xOff())
+	vals := make([]float64, c.plan.csr.NNZ())
+	c.plan.assemble(vals, false, 0, g)
+	a := &la.CSR{Rows: c.nv, Cols: c.nv, RowPtr: c.plan.csr.RowPtr, ColIdx: c.plan.csr.ColIdx, Val: vals}
+	nodeV := c.NodeVoltages(tNow, x, nil)
+	rhs := la.NewVector(c.nv)
+	c.plan.assembleRHS(rhs, g, nodeV)
+	for k, node := range c.dcgNodes {
+		if fi := c.freeIdx[node]; fi >= 0 {
+			rhs[fi] -= x[c.iOff()+k]
+		}
+	}
+	v := la.NewVector(c.nv)
+	for n := 0; n < c.numNodes; n++ {
+		if fi := c.freeIdx[n]; fi >= 0 {
+			v[fi] = nodeV[n]
+		}
+	}
+	av := la.NewVector(c.nv)
+	a.MulVec(av, v)
+
+	// Right side: -C·v̇ from the explicit Derivative.
+	dxdt := la.NewVector(c.Dim())
+	c.Derivative(tNow, x, dxdt)
+	for f := 0; f < c.nv; f++ {
+		want := -c.Params.C * dxdt[c.vOff()+f]
+		got := av[f] - rhs[f]
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("free node %d: plan residual %v, derivative %v", f, got, want)
+		}
+	}
+}
+
+// TestSparseDefaultAllocFreeStep verifies the production path allocates
+// nothing per step once the factorization cache is warm.
+func TestSparseDefaultAllocFreeStep(t *testing.T) {
+	c := buildMixed(t)
+	x := c.InitialState(rand.New(rand.NewSource(1)))
+	s := NewIMEX(c, nil)
+	h := 1e-3
+	if _, err := s.Step(c, 0, h, x); err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		k++
+		if _, err := s.Step(c, float64(k)*h, h, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sparse IMEX step allocated %v objects per run, want 0", allocs)
+	}
+}

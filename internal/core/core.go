@@ -54,6 +54,9 @@ type Config struct {
 	// Verify enables per-step runtime invariant checking on every attempt
 	// (see internal/invariant); the cmds expose it as -check.
 	Verify bool
+	// Dense selects the dense-LU voltage solve instead of the default
+	// sparse symbolic-once path; the cmds expose it as -dense.
+	Dense bool
 }
 
 // DefaultConfig returns settings that solve the paper's small instances
@@ -147,6 +150,7 @@ func (cfg Config) options() solc.Options {
 		opts.Policy = solc.WinnerFirstDone
 	}
 	opts.Verify = cfg.Verify
+	opts.Dense = cfg.Dense
 	return opts
 }
 

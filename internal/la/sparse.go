@@ -23,13 +23,13 @@ func NewBuilder(rows, cols int) *Builder {
 	return &Builder{Rows: rows, Cols: cols}
 }
 
-// Add accumulates v at (i, j).
+// Add accumulates v at (i, j). A zero v still records the entry: the
+// position becomes an explicit structural nonzero, so the compiled
+// sparsity pattern depends only on the stamped topology, never on the
+// numeric values (symbolic factorizations stay reusable).
 func (b *Builder) Add(i, j int, v float64) {
 	if i < 0 || i >= b.Rows || j < 0 || j >= b.Cols {
 		panic(fmt.Sprintf("la: Builder.Add out of range (%d,%d) in %dx%d", i, j, b.Rows, b.Cols))
-	}
-	if v == 0 {
-		return
 	}
 	b.entries = append(b.entries, Triplet{i, j, v})
 }
@@ -45,7 +45,10 @@ type CSR struct {
 	Val        []float64
 }
 
-// Compile sums duplicates and produces the CSR form.
+// Compile sums duplicates and produces the CSR form. Entries that sum to
+// exactly zero are kept as explicit zeros: dropping them would make the
+// sparsity pattern value-dependent, silently invalidating any symbolic
+// factorization computed for the same topology at different values.
 func (b *Builder) Compile() *CSR {
 	ents := make([]Triplet, len(b.entries))
 	copy(ents, b.entries)
@@ -63,11 +66,9 @@ func (b *Builder) Compile() *CSR {
 			sum += ents[k].Val
 			k++
 		}
-		if sum != 0 {
-			m.ColIdx = append(m.ColIdx, c)
-			m.Val = append(m.Val, sum)
-			m.RowPtr[r+1]++
-		}
+		m.ColIdx = append(m.ColIdx, c)
+		m.Val = append(m.Val, sum)
+		m.RowPtr[r+1]++
 	}
 	for i := 0; i < b.Rows; i++ {
 		m.RowPtr[i+1] += m.RowPtr[i]

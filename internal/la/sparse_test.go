@@ -23,13 +23,50 @@ func TestBuilderDuplicatesSummed(t *testing.T) {
 	}
 }
 
-func TestBuilderCancellationDropped(t *testing.T) {
+// TestBuilderCancellationKept pins the explicit-zero contract: entries
+// summing to exactly zero stay in the pattern, so two compiles of the same
+// topology always agree structurally regardless of the numeric values.
+func TestBuilderCancellationKept(t *testing.T) {
 	b := NewBuilder(1, 1)
 	b.Add(0, 0, 5)
 	b.Add(0, 0, -5)
 	m := b.Compile()
-	if m.NNZ() != 0 {
-		t.Fatalf("NNZ = %d, want 0 after exact cancellation", m.NNZ())
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (explicit zero kept after exact cancellation)", m.NNZ())
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %v, want explicit 0", got)
+	}
+}
+
+// TestBuilderPatternValueIndependent compiles one topology under two value
+// assignments — one with an exact cancellation — and requires identical
+// RowPtr/ColIdx, the invariant symbolic LU reuse rests on.
+func TestBuilderPatternValueIndependent(t *testing.T) {
+	build := func(v1, v2 float64) *CSR {
+		b := NewBuilder(3, 3)
+		for i := 0; i < 3; i++ {
+			b.Add(i, i, 1)
+		}
+		b.Add(0, 2, v1)
+		b.Add(0, 2, v2)
+		b.Add(2, 0, 0) // explicit structural zero
+		return b.Compile()
+	}
+	a := build(3, 4)
+	z := build(3, -3)
+	if a.NNZ() != z.NNZ() {
+		t.Fatalf("NNZ differs between compiles: %d vs %d", a.NNZ(), z.NNZ())
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != z.RowPtr[i] {
+			t.Fatalf("RowPtr differs at %d: %v vs %v", i, a.RowPtr, z.RowPtr)
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != z.ColIdx[k] {
+			t.Fatalf("ColIdx differs at %d: %v vs %v", k, a.ColIdx, z.ColIdx)
+		}
 	}
 }
 

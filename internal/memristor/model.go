@@ -74,9 +74,16 @@ func (m Model) window(d float64) float64 {
 //
 // For vM > 0 the state decreases toward 0, so the x-side factor blocks at
 // x = 0; for vM < 0 the state increases toward 1 and the (1-x)-side factor
-// blocks there.
+// blocks there. θ̃ vanishes on (-∞, 0], so at most one term is nonzero for
+// any vM and the other window (an exp for finite k) need not be evaluated.
 func (m Model) H(x, vM float64) float64 {
-	return m.window(x)*m.theta(vM) + m.window(1-x)*m.theta(-vM)
+	if vM > 0 {
+		return m.window(x) * m.theta(vM)
+	}
+	if vM < 0 {
+		return m.window(1-x) * m.theta(-vM)
+	}
+	return 0
 }
 
 // DxDt returns the memristor state equation (Eq. 29):

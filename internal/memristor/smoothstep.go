@@ -84,7 +84,19 @@ func (s *SmoothStep) Eval(y float64) float64 {
 	for i := len(s.coef) - 1; i >= 0; i-- {
 		p = p*y + s.coef[i]
 	}
-	return p * math.Pow(y, float64(s.R+1))
+	return p * powi(y, s.R+1)
+}
+
+// powi is yⁿ for the small non-negative integer exponents of the step
+// polynomials (n ≤ maxPolyOrder+1), by plain repeated multiplication —
+// the vector-field hot path calls it once per memristor per step, where
+// math.Pow's generality is measurable overhead.
+func powi(y float64, n int) float64 {
+	p := 1.0
+	for ; n > 0; n-- {
+		p *= y
+	}
+	return p
 }
 
 // regIncompleteBeta computes the regularized incomplete beta function
@@ -147,7 +159,7 @@ func (s *SmoothStep) Deriv(y float64) float64 {
 		k := float64(s.R + 1 + i)
 		p = p*y + k*s.coef[i]
 	}
-	return p * math.Pow(y, float64(s.R))
+	return p * powi(y, s.R)
 }
 
 // Deriv2 returns d²θ̃_r/dy² (used to render the Fig. 9 insets).
@@ -163,7 +175,7 @@ func (s *SmoothStep) Deriv2(y float64) float64 {
 	if s.R == 0 {
 		return 0
 	}
-	return p * math.Pow(y, float64(s.R-1))
+	return p * powi(y, s.R-1)
 }
 
 // Coefficients returns the nonzero polynomial coefficients: the returned

@@ -53,11 +53,12 @@ type Stats struct {
 	FEvals    int // right-hand-side evaluations
 	JacEvals  int // Jacobian evaluations (implicit methods)
 	NewtonIts int // total Newton iterations (implicit methods)
+	Refactors int // linear-operator factorizations (IMEX/quasi-static cache refreshes)
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("steps=%d rejected=%d fevals=%d jac=%d newton=%d",
-		s.Steps, s.Rejected, s.FEvals, s.JacEvals, s.NewtonIts)
+	return fmt.Sprintf("steps=%d rejected=%d fevals=%d jac=%d newton=%d refactors=%d",
+		s.Steps, s.Rejected, s.FEvals, s.JacEvals, s.NewtonIts, s.Refactors)
 }
 
 // ErrStepFailure is returned when a step cannot be completed (Newton

@@ -1,0 +1,58 @@
+package solc
+
+import (
+	"testing"
+
+	"repro/internal/boolcirc"
+	"repro/internal/circuit"
+)
+
+// TestDenseSparseSameAssignment is the end-to-end equivalence check for
+// the voltage-solve paths: a 3-bit factorization (3-bit factor words,
+// 6-bit product pinned to 15 = 3 × 5) must converge to the identical
+// gate assignment whether the IMEX solve runs on the default sparse
+// symbolic-once LU or on the dense fallback behind Options.Dense, given
+// the same seed. The two paths solve the same linear systems to
+// roundoff, so with a deterministic winner policy the decoded
+// equilibrium must match bit for bit.
+func TestDenseSparseSameAssignment(t *testing.T) {
+	solve := func(dense bool) Result {
+		bc := boolcirc.New()
+		p := bc.NewSignals(3)
+		q := bc.NewSignals(3)
+		prod := bc.Multiplier(p, q)
+		pins := map[boolcirc.Signal]bool{}
+		for i, s := range prod {
+			pins[s] = 15&(1<<uint(i)) != 0
+		}
+		cs := Compile(bc, pins, circuit.Default())
+		opts := DefaultOptions()
+		opts.TEnd = 150
+		opts.Seed = 7
+		opts.Parallelism = 1
+		opts.Dense = dense
+		res, err := cs.Solve(opts)
+		if err != nil {
+			t.Fatalf("dense=%v: %v", dense, err)
+		}
+		if !res.Solved {
+			t.Fatalf("dense=%v not solved: %s", dense, res.Reason)
+		}
+		return res
+	}
+
+	sparse := solve(false)
+	dense := solve(true)
+
+	if sparse.Attempts != dense.Attempts {
+		t.Fatalf("winning attempt differs: sparse %d, dense %d", sparse.Attempts, dense.Attempts)
+	}
+	if len(sparse.Assignment) != len(dense.Assignment) {
+		t.Fatalf("assignment sizes differ: %d vs %d", len(sparse.Assignment), len(dense.Assignment))
+	}
+	for sig, v := range sparse.Assignment {
+		if dense.Assignment[sig] != v {
+			t.Errorf("signal %v: sparse=%v dense=%v", sig, v, dense.Assignment[sig])
+		}
+	}
+}

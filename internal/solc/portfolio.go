@@ -270,6 +270,14 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 	if err != nil {
 		return attemptOut{}, err
 	}
+	if opts.Dense {
+		if im, ok := stepper.(*circuit.IMEXStepper); ok {
+			im.Dense = true
+		}
+		if qs, ok := eng.(*circuit.QuasiStatic); ok {
+			qs.Dense = true
+		}
+	}
 
 	rng := rand.New(rand.NewSource(opts.Seed + int64(idx)))
 	x := eng.InitialState(rng)

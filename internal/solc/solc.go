@@ -156,6 +156,10 @@ type Options struct {
 	// Ctx, when non-nil, cancels the solve externally (nil means
 	// context.Background).
 	Ctx context.Context
+	// Dense selects the dense-LU fallback for the voltage solves (IMEX and
+	// quasi-static) instead of the default sparse symbolic-once path — the
+	// A/B comparator behind the cmds' -dense flag.
+	Dense bool
 	// Verify enables per-step runtime invariant checking (voltage bounds,
 	// x ∈ [0,1], current window, finiteness — see internal/invariant) on
 	// every attempt; a blown bound fails the attempt with a structured
