@@ -21,6 +21,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/memristor"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/solc"
 	"repro/internal/solg"
@@ -253,13 +254,17 @@ func multiplier6() *solc.Compiled {
 // benchIMEXStep measures one IMEX step on the 6-bit multiplier SOLC —
 // the steady-state cost the solve loop pays. Sparse runs the
 // symbolic-once la.SparseLU path (the default); dense the
-// partial-pivoting fallback.
-func benchIMEXStep(b *testing.B, dense bool) {
+// partial-pivoting fallback. A non-nil telemetry attaches the full
+// per-step instrument set (refactor hook on the stepper, accept hook
+// called as the driver would), pinning its hot-path cost.
+func benchIMEXStep(b *testing.B, dense bool, tl *obs.Telemetry) {
 	cs := multiplier6()
 	c := cs.Eng.(*circuit.Circuit)
 	x := c.InitialState(rand.New(rand.NewSource(1)))
 	st := circuit.NewIMEX(c, nil)
 	st.Dense = dense
+	so := tl.StepObs()
+	st.Obs = so
 	h := 1e-3
 	if _, err := st.Step(c, 0, h, x); err != nil {
 		b.Fatal(err)
@@ -270,13 +275,52 @@ func benchIMEXStep(b *testing.B, dense bool) {
 		if _, err := st.Step(c, float64(i+1)*h, h, x); err != nil {
 			b.Fatal(err)
 		}
+		so.Accept(h)
 		c.ClampState(x)
 	}
 }
 
-func BenchmarkIMEXStepSparse(b *testing.B) { benchIMEXStep(b, false) }
+func BenchmarkIMEXStepSparse(b *testing.B) { benchIMEXStep(b, false, nil) }
 
-func BenchmarkIMEXStepDense(b *testing.B) { benchIMEXStep(b, true) }
+func BenchmarkIMEXStepDense(b *testing.B) { benchIMEXStep(b, true, nil) }
+
+// BenchmarkIMEXStepTelemetry is BenchmarkIMEXStepSparse with the
+// telemetry instruments attached — the CI gate asserting observability
+// stays free on the hot path (0 allocs/op, within noise of the
+// uninstrumented step).
+func BenchmarkIMEXStepTelemetry(b *testing.B) { benchIMEXStep(b, false, obs.NewTelemetry()) }
+
+// TestIMEXStepTelemetryZeroAlloc is the deterministic allocation check
+// behind the benchmark: after the first step warms the factorization,
+// an instrumented step must not allocate.
+func TestIMEXStepTelemetryZeroAlloc(t *testing.T) {
+	cs := multiplier6()
+	c := cs.Eng.(*circuit.Circuit)
+	x := c.InitialState(rand.New(rand.NewSource(1)))
+	tl := obs.NewTelemetry()
+	st := circuit.NewIMEX(c, nil)
+	st.Obs = tl.StepObs()
+	h := 1e-3
+	if _, err := st.Step(c, 0, h, x); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		if _, err := st.Step(c, float64(i)*h, h, x); err != nil {
+			t.Fatal(err)
+		}
+		st.Obs.Accept(h)
+		c.ClampState(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented IMEX step allocates %.1f/op, want 0", allocs)
+	}
+	if tl.Steps.Value() == 0 || tl.Refactors.Value() == 0 {
+		t.Fatalf("instruments not recording: steps=%d refactors=%d",
+			tl.Steps.Value(), tl.Refactors.Value())
+	}
+}
 
 // ---- Parallel restart portfolio (internal/solc pool) ----
 

@@ -19,8 +19,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
@@ -30,6 +28,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/ode"
 	"repro/internal/solc"
 )
@@ -48,37 +47,18 @@ func realMain() int {
 	check := flag.Bool("check", false, "verify runtime invariants on every integration step of the dynamical experiments (no build tag needed)")
 	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
 	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	co := obs.BindFlags("dmm-bench", flag.CommandLine)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dmm-bench:", err)
-			return 1
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "dmm-bench:", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	if err := co.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
-			}
-		}()
-	}
+	defer func() {
+		if err := co.Finish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	cfg.TEnd = *tEnd
@@ -86,6 +66,7 @@ func realMain() int {
 	cfg.Parallelism = *parallel
 	cfg.Verify = *check
 	cfg.Dense = *dense
+	cfg.Telemetry = co.Telemetry
 
 	var bits []int
 	for _, tok := range strings.Split(*bitsFlag, ",") {

@@ -5,7 +5,7 @@
 //
 //	dmm-factor -n 35 [-seed 1] [-tend 150] [-attempts 4] [-trace] [-check]
 //	dmm-factor -n 143 -attempts 8 -parallel 4 [-first-win] [-deadline 30s]
-//	dmm-factor -n 35 -portfolio
+//	dmm-factor -n 35 -portfolio [-telemetry events.jsonl] [-metrics-dump]
 package main
 
 import (
@@ -17,11 +17,16 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/solc"
 	"repro/internal/trace"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	n := flag.Uint64("n", 35, "integer to factor (a semiprime fitting the word sizes)")
 	seed := flag.Int64("seed", 1, "initial-condition seed")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon")
@@ -33,7 +38,18 @@ func main() {
 	showTrace := flag.Bool("trace", false, "render factor-bit voltage trajectories")
 	check := flag.Bool("check", false, "verify runtime invariants per step and post-hoc scan the recorded trace (no build tag needed)")
 	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
+	co := obs.BindFlags("dmm-factor", flag.CommandLine)
 	flag.Parse()
+
+	if err := co.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := co.Finish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -44,6 +60,7 @@ func main() {
 	cfg.Deadline = *deadline
 	cfg.Verify = *check
 	cfg.Dense = *dense
+	cfg.Telemetry = co.Telemetry
 	if *portfolio {
 		cfg.Portfolio = solc.DefaultPortfolio()
 	}
@@ -56,7 +73,7 @@ func main() {
 	res, err := fz.Factor(*n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmm-factor:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("n=%d  circuit: %s\n", *n, res.Metrics)
 	if res.Solved {
@@ -82,11 +99,12 @@ func main() {
 				for _, v := range viols {
 					fmt.Fprintln(os.Stderr, "dmm-factor:", v)
 				}
-				os.Exit(3)
+				return 3
 			}
 		}
 	}
 	if !res.Solved {
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

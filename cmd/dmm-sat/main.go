@@ -18,11 +18,16 @@ import (
 
 	"repro/internal/boolcirc"
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/solc"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	file := flag.String("f", "", "DIMACS CNF file (omit to generate a random 3-SAT instance)")
 	rv := flag.Int("random-vars", 6, "variables for the random instance")
 	rc := flag.Int("random-clauses", 18, "clauses for the random instance")
@@ -34,6 +39,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
 	portfolio := flag.Bool("portfolio", false, "race the heterogeneous solver portfolio across restarts")
 	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
+	co := obs.BindFlags("dmm-sat", flag.CommandLine)
 	flag.Parse()
 
 	var f boolcirc.CNF
@@ -41,13 +47,13 @@ func main() {
 		fh, err := os.Open(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmm-sat:", err)
-			os.Exit(1)
+			return 1
 		}
 		f, err = boolcirc.ParseDIMACS(fh)
 		fh.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dmm-sat:", err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		rng := rand.New(rand.NewSource(*seed))
@@ -75,6 +81,16 @@ func main() {
 	dp := sat.DPLL(f, 0)
 	fmt.Printf("DPLL baseline: %v (%d decisions)\n", dp.Status, dp.Decisions)
 
+	if err := co.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := co.Finish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
 	opts := solc.DefaultOptions()
 	opts.Seed = *seed
 	opts.TEnd = *tEnd
@@ -85,6 +101,7 @@ func main() {
 		opts.Policy = solc.WinnerFirstDone
 	}
 	opts.Dense = *dense
+	opts.Telemetry = co.Telemetry
 	var res solc.SATResult
 	var err error
 	if *portfolio {
@@ -94,7 +111,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmm-sat:", err)
-		os.Exit(1)
+		return 1
 	}
 	if res.Solved {
 		fmt.Printf("SOLC: SAT in t* = %.2f (attempts %d, winner %s, wall %v)\nassignment:",
@@ -109,13 +126,14 @@ func main() {
 		fmt.Println()
 		if dp.Status == sat.Unsatisfiable {
 			fmt.Println("WARNING: SOLC claims SAT on a DPLL-UNSAT formula (verification bug)")
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		fmt.Printf("SOLC: no equilibrium found (%s)\n", res.Result.Reason)
 		if dp.Status == sat.Satisfiable {
 			fmt.Println("note: instance is satisfiable; increase -tend/-attempts")
-			os.Exit(2)
+			return 2
 		}
 	}
+	return 0
 }

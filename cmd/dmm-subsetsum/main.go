@@ -18,9 +18,14 @@ import (
 
 	"repro/internal/classical"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	valuesFlag := flag.String("values", "3,5,6", "comma-separated positive integers")
 	target := flag.Uint64("target", 8, "target sum")
 	seed := flag.Int64("seed", 1, "initial-condition seed")
@@ -30,6 +35,7 @@ func main() {
 	firstWin := flag.Bool("first-win", false, "first verified winner cancels all attempts")
 	deadline := flag.Duration("deadline", 0*time.Second, "wall-clock budget for the whole solve (0 = none)")
 	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
+	co := obs.BindFlags("dmm-subsetsum", flag.CommandLine)
 	flag.Parse()
 
 	var values []uint64
@@ -37,10 +43,20 @@ func main() {
 		v, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmm-subsetsum: bad value %q: %v\n", tok, err)
-			os.Exit(1)
+			return 1
 		}
 		values = append(values, v)
 	}
+
+	if err := co.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := co.Finish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -50,11 +66,12 @@ func main() {
 	cfg.FirstWin = *firstWin
 	cfg.Deadline = *deadline
 	cfg.Dense = *dense
+	cfg.Telemetry = co.Telemetry
 	ss := core.NewSubsetSum(cfg)
 	res, err := ss.Solve(values, *target)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmm-subsetsum:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("values=%v target=%d  circuit: %s\n", values, *target, res.Metrics)
 	if res.Solved {
@@ -76,6 +93,7 @@ func main() {
 		fmt.Println("baseline check: DP agrees")
 	}
 	if !res.Solved {
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

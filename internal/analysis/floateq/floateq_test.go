@@ -10,3 +10,11 @@ import (
 func TestFloatEq(t *testing.T) {
 	analysistest.Run(t, floateq.Analyzer, "testdata/src/floateqtest", "repro/internal/fixture/floateqtest")
 }
+
+// The telemetry-shaped fixture — gauge CAS loop on float64 bits,
+// histogram bound scan with ordered comparisons, structural-zero skip —
+// must pass with zero findings: the obs hot path never compares floats
+// with == or != outside the allowed zero form.
+func TestObsHotPathAllowed(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "testdata/src/obstest", "repro/internal/fixture/obstest")
+}

@@ -1,0 +1,64 @@
+// Package obstest mirrors the telemetry hot path: atomic counters, a
+// float64-bits gauge with a CAS add loop, and a histogram bound scan.
+// None of it compares floats with == or !=, so the analyzer must stay
+// silent — zero findings expected.
+package obstest
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) inc()         { c.v.Add(1) }
+func (c *counter) value() int64 { return c.v.Load() }
+
+type gauge struct{ bits atomic.Uint64 }
+
+func (g *gauge) set(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+func (g *gauge) add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64frombits(old) + delta
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+}
+
+// observe finds the bucket with bounds[i-1] < v <= bounds[i]; ordered
+// comparisons on floats are fine, only ==/!= is flagged.
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+}
+
+// sample folds decimated physics readings in; the structural-zero
+// compare is explicitly allowed by the analyzer.
+func sample(g *gauge, h *histogram, readings []float64) {
+	for _, r := range readings {
+		if r == 0 {
+			continue
+		}
+		g.add(r)
+		h.observe(r)
+	}
+}

@@ -17,3 +17,10 @@ func TestNakedGoroutine(t *testing.T) {
 func TestParPackageAllowed(t *testing.T) {
 	analysistest.Run(t, nakedgoroutine.Analyzer, "testdata/src/parpkg", "repro/internal/par")
 }
+
+// The telemetry-shaped fixture — mutex-guarded tracer plus lock-free
+// atomic counters — must pass with zero findings: the obs hot path never
+// launches goroutines of its own.
+func TestObsHotPathAllowed(t *testing.T) {
+	analysistest.Run(t, nakedgoroutine.Analyzer, "testdata/src/obstest", "repro/internal/fixture/obstest")
+}

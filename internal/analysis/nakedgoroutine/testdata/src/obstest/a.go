@@ -1,0 +1,54 @@
+// Package obstest mirrors the telemetry layer's concurrency shape: the
+// hot path is lock-free atomics and the tracer is a mutex-guarded
+// encoder, so no goroutine is ever launched — zero findings expected.
+package obstest
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+type tracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+func newTracer(w io.Writer) *tracer {
+	return &tracer{bw: bufio.NewWriter(w)}
+}
+
+// emit is called concurrently by racing attempts; serialization happens
+// under the mutex, never by handing work to a goroutine.
+func (t *tracer) emit(line []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.bw.Write(line); err != nil {
+		t.err = err
+	}
+}
+
+func (t *tracer) flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) inc() { c.v.Add(1) }
+
+// record is the per-step hook: pure atomics, no pool, no go statement.
+func record(steps *counter, n int) {
+	for i := 0; i < n; i++ {
+		steps.inc()
+	}
+}

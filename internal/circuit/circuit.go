@@ -135,6 +135,12 @@ func (c *Circuit) Counts() (freeNodes, memristors, vcdcgs int) {
 // NumGates returns the number of self-organizing gates.
 func (c *Circuit) NumGates() int { return len(c.gates) }
 
+// MemStates returns the memristor internal-state block of x as a view
+// (Engine interface).
+func (c *Circuit) MemStates(x la.Vector) la.Vector {
+	return x[c.xOff() : c.xOff()+c.nm]
+}
+
 // State block offsets.
 func (c *Circuit) vOff() int { return 0 }
 func (c *Circuit) xOff() int { return c.nv }

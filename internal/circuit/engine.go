@@ -24,6 +24,10 @@ type Engine interface {
 	Parameters() Params
 	NumGates() int
 	Counts() (freeNodes, memristors, vcdcgs int)
+	// MemStates returns the memristor internal-state block of x as a
+	// view (no copy): nm values in [0,1]. The physics probe histograms
+	// it on a decimated cadence.
+	MemStates(x la.Vector) la.Vector
 	// Clone returns an engine over the same compiled circuit with private
 	// scratch buffers, safe to integrate concurrently with the receiver.
 	Clone() Engine

@@ -7,6 +7,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/la"
 	"repro/internal/memristor"
+	"repro/internal/obs"
 	"repro/internal/ode"
 )
 
@@ -44,6 +45,11 @@ type IMEXStepper struct {
 	// Dense selects the dense partial-pivoting LU instead of the sparse
 	// symbolic-once path (the -dense A/B comparator).
 	Dense bool
+
+	// Obs, when non-nil, receives refactorization telemetry — the one
+	// event the driver cannot see. Accept/reject counting stays with the
+	// driver's own hook so steps are never double-counted.
+	Obs *obs.StepObs
 
 	// sparse path: private values over the shared pattern, private numeric
 	// factors over the shared symbolic analysis.
@@ -195,6 +201,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 			s.stats.JacEvals++
 			s.stats.Refactors++
 		}
+		s.Obs.Refactor()
 	}
 	s.rhs.Zero()
 	c.plan.assembleRHS(s.rhs, s.g, s.nodeV)

@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"math"
+
+	"repro/internal/la"
+)
+
+// Physics-probe constants: the memristor-state histogram resolution over
+// [0,1] and the relative tolerance for calling a node voltage saturated
+// at ±vc.
+const (
+	MemHistBuckets = 10
+	SatTol         = 0.05
+)
+
+// PhysicsSample is one decimated observation of the circuit's physical
+// state: the paper's dynamical observables (saturation toward the ±vc
+// logic rails, memristor-state occupation, max |dv/dt| as a
+// distance-to-equilibrium proxy) evaluated at a single (t, x).
+type PhysicsSample struct {
+	T float64
+	// SaturatedFrac is the fraction of node voltages within SatTol·vc
+	// of ±vc — at a self-organized equilibrium it reaches 1.
+	SaturatedFrac float64
+	// MaxDvDt is max |dv/dt| over the voltage states (0 for the
+	// quasi-static form, which has no voltage states).
+	MaxDvDt float64
+	// MaxDxDt is max |dx/dt| over the full ODE state.
+	MaxDxDt float64
+	// MemHist counts memristor internal states per uniform bucket of
+	// [0,1] (bucket j covers [j/MemHistBuckets, (j+1)/MemHistBuckets)).
+	MemHist [MemHistBuckets]int32
+}
+
+// PhysicsProbe samples physics observables from an engine's state with
+// private scratch, so each portfolio attempt probes its own cloned
+// engine without contention. Sample allocates nothing.
+type PhysicsProbe struct {
+	eng   Engine
+	nodeV la.Vector
+	dxdt  la.Vector
+}
+
+// NewPhysicsProbe returns a probe over eng with preallocated scratch.
+func NewPhysicsProbe(eng Engine) *PhysicsProbe {
+	p := &PhysicsProbe{eng: eng, dxdt: la.NewVector(eng.Dim())}
+	// Size the node-voltage scratch without triggering a Kirchhoff solve
+	// (QuasiStatic.NodeVoltages factorizes on first use).
+	switch e := eng.(type) {
+	case *Circuit:
+		p.nodeV = la.NewVector(e.numNodes)
+	case *QuasiStatic:
+		p.nodeV = la.NewVector(e.C.numNodes)
+	}
+	return p
+}
+
+// Sample evaluates the physics observables at (t, x).
+func (p *PhysicsProbe) Sample(t float64, x la.Vector) PhysicsSample {
+	s := PhysicsSample{T: t}
+	vc := p.eng.Parameters().Vc
+
+	nodeV := p.eng.NodeVoltages(t, x, p.nodeV)
+	sat := 0
+	for _, v := range nodeV {
+		if math.Abs(math.Abs(v)-vc) <= SatTol*vc {
+			sat++
+		}
+	}
+	if len(nodeV) > 0 {
+		s.SaturatedFrac = float64(sat) / float64(len(nodeV))
+	}
+
+	p.eng.Derivative(t, x, p.dxdt)
+	s.MaxDxDt = p.dxdt.NormInf()
+	if c, ok := p.eng.(*Circuit); ok {
+		s.MaxDvDt = p.dxdt[:c.nv].NormInf()
+	}
+
+	for _, xi := range p.eng.MemStates(x) {
+		j := int(xi * MemHistBuckets)
+		if j < 0 {
+			j = 0
+		} else if j >= MemHistBuckets {
+			j = MemHistBuckets - 1
+		}
+		s.MemHist[j]++
+	}
+	return s
+}

@@ -1,0 +1,100 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/solg"
+)
+
+// TestPhysicsSampleBothForms checks the probe's observables are
+// well-formed on both dynamical forms: saturation and the memristor
+// histogram bounded, MemHist totals matching the memristor count, and
+// MaxDvDt populated only for the capacitive form.
+func TestPhysicsSampleBothForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct {
+		name string
+		eng  Engine
+	}{
+		{"capacitive", buildGateCap(t, solg.AND, true)},
+		{"quasistatic", buildGateQS(t, solg.AND, true)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x := tc.eng.InitialState(rng)
+			p := NewPhysicsProbe(tc.eng)
+			s := p.Sample(0.5, x)
+			if s.SaturatedFrac < 0 || s.SaturatedFrac > 1 {
+				t.Errorf("SaturatedFrac = %g outside [0,1]", s.SaturatedFrac)
+			}
+			if s.MaxDxDt < 0 {
+				t.Errorf("MaxDxDt = %g negative", s.MaxDxDt)
+			}
+			_, nm, _ := tc.eng.Counts()
+			total := int32(0)
+			for _, n := range s.MemHist {
+				total += n
+			}
+			if int(total) != nm {
+				t.Errorf("MemHist totals %d, want nm = %d", total, nm)
+			}
+			if _, isQS := tc.eng.(*QuasiStatic); isQS && s.MaxDvDt != 0 {
+				t.Errorf("quasi-static MaxDvDt = %g, want 0 (no voltage states)", s.MaxDvDt)
+			}
+		})
+	}
+}
+
+// TestPhysicsSaturationDetectsRails drives the free voltage states onto
+// the ±vc rails and checks the probe reports full saturation.
+func TestPhysicsSaturationDetectsRails(t *testing.T) {
+	c := buildGateCap(t, solg.AND, true)
+	x := c.InitialState(rand.New(rand.NewSource(1)))
+	for f := 0; f < c.nv; f++ {
+		x[c.vOff()+f] = c.Params.Vc
+	}
+	p := NewPhysicsProbe(c)
+	// Sample late so the pinned ramp has reached ±vc too.
+	s := p.Sample(c.Params.TRise*10, x)
+	if s.SaturatedFrac != 1 {
+		t.Errorf("SaturatedFrac = %g with all rails at vc, want 1", s.SaturatedFrac)
+	}
+}
+
+// TestMemStatesView pins the Engine.MemStates contract: a view, not a
+// copy.
+func TestMemStatesView(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		eng  Engine
+	}{
+		{"capacitive", buildGateCap(t, solg.AND, true)},
+		{"quasistatic", buildGateQS(t, solg.AND, true)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			x := tc.eng.InitialState(rand.New(rand.NewSource(1)))
+			ms := tc.eng.MemStates(x)
+			_, nm, _ := tc.eng.Counts()
+			if len(ms) != nm {
+				t.Fatalf("len(MemStates) = %d, want %d", len(ms), nm)
+			}
+			ms[0] = 0.123
+			if tc.eng.MemStates(x)[0] != 0.123 {
+				t.Error("MemStates must be a view into x")
+			}
+		})
+	}
+}
+
+// TestPhysicsSampleZeroAlloc pins the decimated-cadence cost: Sample on
+// the capacitive form allocates nothing after construction.
+func TestPhysicsSampleZeroAlloc(t *testing.T) {
+	c := buildGateCap(t, solg.AND, true)
+	x := c.InitialState(rand.New(rand.NewSource(1)))
+	p := NewPhysicsProbe(c)
+	p.Sample(0.5, x)
+	allocs := testing.AllocsPerRun(200, func() { p.Sample(0.5, x) })
+	if allocs != 0 {
+		t.Errorf("Sample allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -81,6 +81,12 @@ func (q *QuasiStatic) NumGates() int { return q.C.NumGates() }
 // Counts reports (free nodes, memristors, VCDCGs).
 func (q *QuasiStatic) Counts() (int, int, int) { return q.C.Counts() }
 
+// MemStates returns the memristor internal-state block of x as a view
+// (Engine interface).
+func (q *QuasiStatic) MemStates(x la.Vector) la.Vector {
+	return x[q.xOff() : q.xOff()+q.C.nm]
+}
+
 // Reduced-state block offsets.
 func (q *QuasiStatic) xOff() int { return 0 }
 func (q *QuasiStatic) iOff() int { return q.C.nm }

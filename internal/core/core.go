@@ -13,6 +13,7 @@ import (
 	"repro/internal/boolcirc"
 	"repro/internal/circuit"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/solc"
 	"repro/internal/trace"
 )
@@ -57,6 +58,10 @@ type Config struct {
 	// Dense selects the dense-LU voltage solve instead of the default
 	// sparse symbolic-once path; the cmds expose it as -dense.
 	Dense bool
+	// Telemetry, when non-nil, receives the run's metrics, lifecycle
+	// events and physics samples; the cmds wire it from -telemetry and
+	// -metrics-dump.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultConfig returns settings that solve the paper's small instances
@@ -151,6 +156,7 @@ func (cfg Config) options() solc.Options {
 	}
 	opts.Verify = cfg.Verify
 	opts.Dense = cfg.Dense
+	opts.Telemetry = cfg.Telemetry
 	return opts
 }
 
@@ -185,12 +191,21 @@ func solvePortfolio(pf *solc.Portfolio, cfg Config) (solc.Result, *trace.Recorde
 		}
 		rec = trace.NewRecorder(labels, every)
 		vals := make([]float64, k)
+		// Observe forces Parallelism 1, so recErr needs no lock.
+		var recErr error
 		opts.Observe = func(t float64, nodeV la.Vector) {
 			for i := 0; i < k; i++ {
 				vals[i] = nodeV[cs.NodeOf[i]]
 			}
-			rec.Append(t, vals)
+			if err := rec.Append(t, vals); err != nil && recErr == nil {
+				recErr = err
+			}
 		}
+		res, err := pf.Solve(opts)
+		if err == nil {
+			err = recErr
+		}
+		return res, rec, err
 	}
 	res, err := pf.Solve(opts)
 	return res, rec, err

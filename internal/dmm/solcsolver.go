@@ -37,6 +37,7 @@ func (s SOLCSolver) SolveInverse(c *boolcirc.Circuit, pins map[boolcirc.Signal]b
 		opts.Parallelism = s.Options.Parallelism
 		opts.Policy = s.Options.Policy
 		opts.Deadline = s.Options.Deadline
+		opts.Telemetry = s.Options.Telemetry
 	}
 	members := s.Portfolio
 	if len(members) == 0 {

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CmdObs is the shared observability surface of the cmds: the
+// -telemetry/-metrics-dump flags plus the -cpuprofile/-memprofile pair
+// that used to be wired by hand in dmm-bench only.
+//
+// Lifecycle: BindFlags before flag.Parse, Start after it, then a deferred
+// Finish once the run's outcome is decided. The cmds therefore funnel
+// through a run() function with a single exit so the deferred Finish
+// always fires before os.Exit.
+type CmdObs struct {
+	prog string
+
+	telemetryPath string
+	validate      bool
+	metricsDump   bool
+	cpuProfile    string
+	memProfile    string
+
+	// Telemetry is non-nil between Start and Finish whenever any
+	// telemetry flag was given; pass it to solc.Options / core.Config.
+	Telemetry *Telemetry
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// BindFlags registers the shared observability flags on fs and returns
+// the unstarted CmdObs. prog names the command in error messages.
+func BindFlags(prog string, fs *flag.FlagSet) *CmdObs {
+	co := &CmdObs{prog: prog}
+	fs.StringVar(&co.telemetryPath, "telemetry", "", "write attempt-lifecycle JSONL events and a final metrics snapshot to this file")
+	fs.BoolVar(&co.validate, "telemetry-validate", false, "re-read the -telemetry file after the run and validate it against the event schema")
+	fs.BoolVar(&co.metricsDump, "metrics-dump", false, "print the final metrics snapshot as indented JSON")
+	fs.StringVar(&co.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&co.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return co
+}
+
+// Enabled reports whether any telemetry output was requested (profiles
+// alone do not count; they need no Telemetry instance).
+func (co *CmdObs) Enabled() bool {
+	return co.telemetryPath != "" || co.metricsDump
+}
+
+// Start opens the profile and telemetry outputs. On success co.Telemetry
+// carries the run's instruments (nil when no telemetry flag was given).
+func (co *CmdObs) Start() error {
+	if co.cpuProfile != "" {
+		f, err := os.Create(co.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("%s: %w", co.prog, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", co.prog, err)
+		}
+		co.cpuFile = f
+	}
+	if co.Enabled() {
+		co.Telemetry = NewTelemetry()
+		if co.telemetryPath != "" {
+			f, err := os.Create(co.telemetryPath)
+			if err != nil {
+				co.stopCPU()
+				return fmt.Errorf("%s: %w", co.prog, err)
+			}
+			co.traceFile = f
+			co.Telemetry.Tracer = NewTracer(f)
+		}
+	}
+	return nil
+}
+
+func (co *CmdObs) stopCPU() {
+	if co.cpuFile != nil {
+		pprof.StopCPUProfile()
+		co.cpuFile.Close()
+		co.cpuFile = nil
+	}
+}
+
+// Finish closes out the run: stops the CPU profile, writes the heap
+// profile, emits the final metrics snapshot into the trace, prints the
+// -metrics-dump JSON and the summary table to w, and optionally
+// re-validates the written JSONL. Safe to call when Start never ran or
+// failed.
+func (co *CmdObs) Finish(w io.Writer) error {
+	co.stopCPU()
+	var firstErr error
+	if co.memProfile != "" {
+		if err := writeHeapProfile(co.memProfile); err != nil {
+			firstErr = fmt.Errorf("%s: %w", co.prog, err)
+		}
+	}
+	if co.Telemetry != nil {
+		snap := co.Telemetry.EmitSnapshot()
+		if tr := co.Telemetry.Tracer; tr != nil {
+			if err := tr.Flush(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: telemetry: %w", co.prog, err)
+			}
+		}
+		if co.traceFile != nil {
+			if err := co.traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: telemetry: %w", co.prog, err)
+			}
+			co.traceFile = nil
+		}
+		if co.metricsDump {
+			out, err := snap.MarshalJSONIndent()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", co.prog, err)
+			} else {
+				fmt.Fprintf(w, "%s\n", out)
+			}
+		}
+		if err := snap.WriteSummary(w); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", co.prog, err)
+		}
+		if co.validate && co.telemetryPath != "" {
+			if err := co.validateFile(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", co.prog, err)
+			} else if err == nil {
+				fmt.Fprintf(w, "telemetry: %s validates against the event schema\n", co.telemetryPath)
+			}
+		}
+		co.Telemetry = nil
+	}
+	return firstErr
+}
+
+func (co *CmdObs) validateFile() error {
+	f, err := os.Open(co.telemetryPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ValidateJSONL(f)
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event kinds. Every restart attempt emits exactly one "launched" record
+// and exactly one terminal record ("converged", "cancelled" or
+// "diverged" — the reason field carries the detail, e.g. a reached time
+// horizon or an integration failure); a run ends with one "metrics"
+// record holding the final registry snapshot.
+const (
+	EvLaunched  = "launched"
+	EvConverged = "converged"
+	EvCancelled = "cancelled"
+	EvDiverged  = "diverged"
+	EvMetrics   = "metrics"
+)
+
+// Event is one JSONL run record of the attempt lifecycle.
+type Event struct {
+	// Ev is the event kind (Ev* constants).
+	Ev string `json:"ev"`
+	// WallMs is the wall-clock offset from tracer construction,
+	// stamped by Tracer.Emit.
+	WallMs float64 `json:"wall_ms"`
+	// Attempt is the restart attempt index (-1 for the metrics record).
+	Attempt int `json:"attempt"`
+	// Member names the portfolio member that ran the attempt.
+	Member string `json:"member,omitempty"`
+	// Seed is the attempt's derived RNG seed (Options.Seed + Attempt).
+	Seed int64 `json:"seed"`
+	// T is the dynamical time the attempt reached; Steps its accepted
+	// integration steps (terminal records only).
+	T     float64 `json:"t"`
+	Steps int     `json:"steps"`
+	// Reason describes why the attempt ended (terminal records only).
+	Reason string `json:"reason,omitempty"`
+	// Metrics is the final registry snapshot (metrics records only).
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// Tracer serializes events as JSON lines onto one writer. Emit is safe
+// for concurrent use from racing attempts; buffering is flushed by Flush.
+type Tracer struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	now   func() time.Time
+	err   error
+}
+
+// NewTracer returns a tracer writing JSONL onto w. The wall clock starts
+// at construction.
+func NewTracer(w io.Writer) *Tracer {
+	tr := &Tracer{bw: bufio.NewWriter(w), now: time.Now}
+	tr.enc = json.NewEncoder(tr.bw)
+	tr.start = tr.now()
+	return tr
+}
+
+// Emit stamps the event's wall-clock offset and writes it as one JSON
+// line. Write errors are sticky and reported by Flush.
+func (tr *Tracer) Emit(e Event) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	e.WallMs = float64(tr.now().Sub(tr.start)) / float64(time.Millisecond)
+	if err := tr.enc.Encode(&e); err != nil && tr.err == nil {
+		tr.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (tr *Tracer) Flush() error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.err != nil {
+		return tr.err
+	}
+	return tr.bw.Flush()
+}
+
+// ValidateJSONL checks a recorded event stream against the schema: every
+// line is a well-formed event of a known kind with no unknown fields,
+// every terminal record pairs with a launched record of the same attempt,
+// lifecycle counts balance, and the stream ends with exactly one metrics
+// record carrying a snapshot. This is the contract the CI telemetry smoke
+// job enforces end to end.
+func ValidateJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // metrics snapshots are long lines
+	launched := make(map[int]int)
+	terminal := make(map[int]int)
+	line := 0
+	metricsSeen := false
+	lastEv := ""
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			return fmt.Errorf("obs: line %d: empty line", line)
+		}
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		lastEv = e.Ev
+		switch e.Ev {
+		case EvLaunched:
+			if e.Attempt < 0 || e.Member == "" {
+				return fmt.Errorf("obs: line %d: launched event needs attempt ≥ 0 and a member", line)
+			}
+			launched[e.Attempt]++
+		case EvConverged, EvCancelled, EvDiverged:
+			if launched[e.Attempt] <= terminal[e.Attempt] {
+				return fmt.Errorf("obs: line %d: %s event for attempt %d without a prior launch", line, e.Ev, e.Attempt)
+			}
+			if e.Ev == EvConverged && !(e.T > 0) {
+				return fmt.Errorf("obs: line %d: converged event needs t > 0, got %g", line, e.T)
+			}
+			if e.Ev != EvCancelled && e.Reason == "" {
+				return fmt.Errorf("obs: line %d: %s event needs a reason", line, e.Ev)
+			}
+			terminal[e.Attempt]++
+		case EvMetrics:
+			if metricsSeen {
+				return fmt.Errorf("obs: line %d: duplicate metrics record", line)
+			}
+			if e.Metrics == nil || e.Metrics.Counters == nil {
+				return fmt.Errorf("obs: line %d: metrics record without a snapshot", line)
+			}
+			metricsSeen = true
+		default:
+			return fmt.Errorf("obs: line %d: unknown event kind %q", line, e.Ev)
+		}
+		if e.WallMs < 0 {
+			return fmt.Errorf("obs: line %d: negative wall_ms", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if line == 0 {
+		return fmt.Errorf("obs: empty event stream")
+	}
+	for a, n := range launched {
+		if terminal[a] != n {
+			return fmt.Errorf("obs: attempt %d: %d launched but %d terminal events", a, n, terminal[a])
+		}
+	}
+	if !metricsSeen {
+		return fmt.Errorf("obs: missing final metrics snapshot")
+	}
+	if lastEv != EvMetrics {
+		return fmt.Errorf("obs: stream must end with the metrics snapshot, ends with %q", lastEv)
+	}
+	return nil
+}

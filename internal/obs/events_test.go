@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock advances 5ms per reading so golden wall_ms values are stable.
+type fakeClock struct {
+	t time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.t = f.t.Add(5 * time.Millisecond)
+	return f.t
+}
+
+func goldenTracer(w *bytes.Buffer) *Tracer {
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	tr := NewTracer(w)
+	tr.now = fc.now
+	tr.start = fc.t // NewTracer consumed one tick; rebase so offsets start at 5ms
+	return tr
+}
+
+// emitGoldenRun writes the reference lifecycle: two attempts, one
+// converged and one cancelled, closed by a metrics snapshot.
+func emitGoldenRun(tr *Tracer, tl *Telemetry) {
+	tl.Tracer = tr
+	tl.Emit(Event{Ev: EvLaunched, Attempt: 0, Member: "imex-capacitive", Seed: 1})
+	tl.Emit(Event{Ev: EvLaunched, Attempt: 1, Member: "rk45-quasistatic", Seed: 2})
+	tl.AttemptsLaunched.Add(2)
+	tl.Emit(Event{Ev: EvConverged, Attempt: 0, Member: "imex-capacitive", Seed: 1, T: 12.5, Steps: 480, Reason: "converged"})
+	tl.AttemptsConverged.Inc()
+	tl.Emit(Event{Ev: EvCancelled, Attempt: 1, Member: "rk45-quasistatic", Seed: 2, T: 9.75, Steps: 311})
+	tl.AttemptsCancelled.Inc()
+	tl.Steps.Add(791)
+	tl.EmitSnapshot()
+}
+
+// TestEventGolden pins the JSONL wire format against a golden file.
+func TestEventGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := goldenTracer(&buf)
+	tl := NewTelemetry()
+	emitGoldenRun(tr, tl)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "events.golden.jsonl")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate by updating testdata/events.golden.jsonl)", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("event stream drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("golden stream fails its own schema: %v", err)
+	}
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	valid := func() []string {
+		var buf bytes.Buffer
+		tr := goldenTracer(&buf)
+		emitGoldenRun(tr, NewTelemetry())
+		tr.Flush()
+		return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	}()
+
+	cases := []struct {
+		name  string
+		lines []string
+		want  string
+	}{
+		{"empty stream", nil, "empty event stream"},
+		{"garbage line", []string{"not json"}, "line 1"},
+		{"unknown field", []string{`{"ev":"launched","attempt":0,"member":"m","seed":1,"wall_ms":0,"t":0,"steps":0,"bogus":1}`}, "bogus"},
+		{"unknown kind", []string{`{"ev":"exploded","attempt":0,"seed":0,"wall_ms":0,"t":0,"steps":0}`}, "unknown event kind"},
+		{"terminal without launch", []string{valid[0], `{"ev":"converged","attempt":7,"member":"m","seed":1,"wall_ms":1,"t":3,"steps":5,"reason":"converged"}`}, "without a prior launch"},
+		{"launched without member", []string{`{"ev":"launched","attempt":0,"seed":1,"wall_ms":0,"t":0,"steps":0}`}, "member"},
+		{"converged at t=0", []string{valid[0], strings.Replace(valid[2], `"t":12.5`, `"t":0`, 1)}, "t > 0"},
+		{"unbalanced lifecycle", valid[:2], "terminal"},
+		{"missing metrics", valid[:4], "missing final metrics"},
+		{"metrics not last", append(append([]string{}, valid[:2]...), valid[4], valid[2], valid[3]), "end with the metrics"},
+		{"double metrics", append(append([]string{}, valid...), valid[4]), "duplicate metrics"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := strings.Join(c.lines, "\n")
+			if len(c.lines) > 0 {
+				in += "\n"
+			}
+			err := ValidateJSONL(strings.NewReader(in))
+			if err == nil {
+				t.Fatalf("validated invalid stream:\n%s", in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateJSONLAccepts(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf) // real clock: wall_ms values are irrelevant to the schema
+	tl := NewTelemetry()
+	emitGoldenRun(tr, tl)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateJSONL(&buf); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // StopReason reports why an integration run ended.
@@ -54,6 +55,12 @@ type Driver struct {
 	// Ctx, when non-nil, is polled every loop iteration; once it is
 	// cancelled (or its deadline passes) the run ends with StopCancelled.
 	Ctx context.Context
+
+	// Obs, when non-nil, receives accepted/rejected step telemetry. The
+	// driver is the single authority on acceptance, so it owns the
+	// Accept/Reject hooks; steppers report only what the driver cannot
+	// see (refactorizations, Newton iterations) through their own Obs.
+	Obs *obs.StepObs
 
 	// Observe, when non-nil, is invoked after every accepted step.
 	Observe func(t float64, x la.Vector)
@@ -119,6 +126,7 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 		errEst, err := d.Stepper.Step(sys, t, hTry, x)
 		if err != nil {
 			// Retry with a smaller step for transient failures.
+			d.Obs.Reject()
 			x.CopyFrom(backup)
 			h *= 0.25
 			if h < hMin {
@@ -127,6 +135,7 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 			continue
 		}
 		if x.HasNaN() {
+			d.Obs.Reject()
 			x.CopyFrom(backup)
 			h *= 0.25
 			if h < hMin {
@@ -137,6 +146,7 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 		if adaptive {
 			if errEst > tol {
 				// Reject and shrink.
+				d.Obs.Reject()
 				x.CopyFrom(backup)
 				shrink := 0.9 * math.Pow(tol/errEst, 0.25)
 				if shrink < 0.1 {
@@ -167,6 +177,7 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 		}
 		t += hTry
 		steps++
+		d.Obs.Accept(hTry)
 		if d.Observe != nil {
 			d.Observe(t, x)
 		}

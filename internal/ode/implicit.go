@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // Trapezoidal is the implicit trapezoidal rule (order 2, A-stable), solved
@@ -13,6 +14,9 @@ import (
 // and O(n³) factorization per refresh).
 type Trapezoidal struct {
 	stats *Stats
+	// Obs, when non-nil, receives the Newton iteration count of every
+	// converged step (the driver owns accept/reject telemetry).
+	Obs *obs.StepObs
 	// Newton controls.
 	MaxNewton int     // maximum Newton iterations per step (default 25)
 	Tol       float64 // residual infinity-norm tolerance (default 1e-9)
@@ -73,6 +77,7 @@ func (s *Trapezoidal) Step(sys System, t, h float64, x la.Vector) (float64, erro
 			if s.stats != nil {
 				s.stats.Steps++
 			}
+			s.Obs.Newton(it + 1)
 			return 0, nil
 		}
 		// Refresh the Jacobian lazily (every few iterations or on first use).

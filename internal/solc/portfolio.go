@@ -11,6 +11,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/invariant"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/ode"
 	"repro/internal/par"
 )
@@ -279,19 +280,52 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 		}
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed + int64(idx)))
+	tl := opts.Telemetry
+	seed := opts.Seed + int64(idx)
+	if tl != nil {
+		tl.AttemptsLaunched.Inc()
+		tl.Emit(obs.Event{Ev: obs.EvLaunched, Attempt: idx, Member: member.label(), Seed: seed})
+		if im, ok := stepper.(*circuit.IMEXStepper); ok {
+			im.Obs = tl.StepObs()
+		}
+		if tr, ok := stepper.(*ode.Trapezoidal); ok {
+			tr.Obs = tl.StepObs()
+		}
+	}
+	wallStart := time.Now()
+
+	rng := rand.New(rand.NewSource(seed))
 	x := eng.InitialState(rng)
 	var nodeVBuf la.Vector
+	// Decimated physics probe over this attempt's private engine clone.
+	var probe *circuit.PhysicsProbe
+	physEvery := 0
+	if tl != nil {
+		probe = circuit.NewPhysicsProbe(eng)
+		physEvery = tl.PhysicsEvery
+		if physEvery <= 0 {
+			physEvery = obs.DefaultPhysicsEvery
+		}
+	}
+	obsStep := 0
 	driver := &ode.Driver{
 		Stepper: stepper,
 		H:       h, HMax: opts.HMax, Tol: opts.Tol,
 		TEnd: opts.TEnd,
 		Ctx:  ctx,
+		Obs:  tl.StepObs(),
 		Observe: func(t float64, x la.Vector) {
 			eng.ClampState(x)
 			if opts.Observe != nil {
 				nodeVBuf = eng.NodeVoltages(t, x, nodeVBuf)
 				opts.Observe(t, nodeVBuf)
+			}
+			if probe != nil {
+				obsStep++
+				if obsStep%physEvery == 0 {
+					ps := probe.Sample(t, x)
+					tl.RecordPhysics(ps.SaturatedFrac, ps.MaxDvDt, ps.MaxDxDt, ps.MemHist[:])
+				}
 			}
 		},
 		Stop: func(t float64, x la.Vector) bool {
@@ -318,9 +352,9 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 			out.solved = true
 			out.assign = assign
 			out.reason = "converged"
-			return out, nil
+		} else {
+			out.reason = "decoded assignment failed verification"
 		}
-		out.reason = "decoded assignment failed verification"
 	case ode.StopTEnd:
 		out.reason = "time horizon reached"
 	case ode.StopCancelled:
@@ -330,6 +364,33 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 		out.reason = fmt.Sprintf("integration failure: %v", run.Err)
 	default:
 		out.reason = run.Reason.String()
+	}
+	if tl != nil {
+		// FEvals and refactorizations the per-step hooks cannot see: the
+		// function-evaluation totals accumulate in ode.Stats, and the
+		// quasi-static form counts its Kirchhoff refactorizations on the
+		// engine rather than in the stepper.
+		tl.FEvals.Add(int64(stats.FEvals))
+		tl.Energy.Add(out.energy)
+		if qs, ok := eng.(*circuit.QuasiStatic); ok {
+			tl.Refactors.Add(int64(qs.Refacts))
+		}
+		tl.AttemptWall.Observe(time.Since(wallStart).Seconds())
+		ev := obs.Event{Attempt: idx, Member: member.label(), Seed: seed,
+			T: out.t, Steps: out.steps, Reason: out.reason}
+		switch {
+		case out.solved:
+			tl.AttemptsConverged.Inc()
+			tl.ConvTime.Observe(out.t)
+			ev.Ev = obs.EvConverged
+		case out.cancelled:
+			tl.AttemptsCancelled.Inc()
+			ev.Ev = obs.EvCancelled
+		default:
+			tl.AttemptsDiverged.Inc()
+			ev.Ev = obs.EvDiverged
+		}
+		tl.Emit(ev)
 	}
 	return out, nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/boolcirc"
 	"repro/internal/circuit"
 	"repro/internal/la"
+	"repro/internal/obs"
 	"repro/internal/ode"
 	"repro/internal/solg"
 )
@@ -171,6 +172,11 @@ type Options struct {
 	// sequential execution (Parallelism 1) so the callback never runs
 	// concurrently with itself.
 	Observe func(t float64, nodeV la.Vector)
+	// Telemetry, when non-nil, receives attempt-lifecycle events, step
+	// metrics and decimated physics samples. Unlike Observe, every
+	// instrument is safe for concurrent use, so telemetry does NOT force
+	// sequential execution.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultOptions returns solver settings tuned for circuit.Default.

@@ -35,19 +35,22 @@ func NewRecorder(labels []string, every int) *Recorder {
 	}
 }
 
-// Append records one time point. vals must have one entry per series.
-func (r *Recorder) Append(t float64, vals []float64) {
+// Append records one time point. vals must have one entry per series; a
+// mismatch returns an error and records nothing (the downsampling
+// counter does not advance either, so a corrected retry stays aligned).
+func (r *Recorder) Append(t float64, vals []float64) error {
+	if len(vals) != len(r.Series) {
+		return fmt.Errorf("trace: %d values for %d series", len(vals), len(r.Series))
+	}
 	r.count++
 	if (r.count-1)%r.Every != 0 {
-		return
-	}
-	if len(vals) != len(r.Series) {
-		panic(fmt.Sprintf("trace: %d values for %d series", len(vals), len(r.Series)))
+		return nil
 	}
 	r.T = append(r.T, t)
 	for k, v := range vals {
 		r.Series[k] = append(r.Series[k], v)
 	}
+	return nil
 }
 
 // Len returns the number of stored samples.

@@ -23,13 +23,21 @@ func TestRecorderAppendAndDownsample(t *testing.T) {
 }
 
 func TestRecorderAppendMismatch(t *testing.T) {
-	r := NewRecorder([]string{"a"}, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on wrong value count")
-		}
-	}()
-	r.Append(0, []float64{1, 2})
+	r := NewRecorder([]string{"a"}, 2)
+	if err := r.Append(0, []float64{1, 2}); err == nil {
+		t.Fatal("expected an error on wrong value count")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("mismatched Append recorded %d samples, want 0", r.Len())
+	}
+	// The failed call must not advance the downsampling counter: the next
+	// valid sample is still the first and therefore kept.
+	if err := r.Append(1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.T[0] != 1 {
+		t.Fatalf("downsampling counter advanced on a failed Append: T=%v", r.T)
+	}
 }
 
 func TestWriteCSV(t *testing.T) {
