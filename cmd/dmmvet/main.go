@@ -7,17 +7,36 @@
 //	stateclone      methods must not retain caller-provided slices without Clone/copy
 //	ctxfirst        context.Context is always the first parameter
 //	nakedgoroutine  all fan-out goes through internal/par
+//	hotalloc        no allocations reachable from //dmmvet:hotpath roots
+//	detflow         no map-order/wall-clock dataflow into solver results
+//	atomicstate     no mixed atomic/plain access to the same field
 //
 // Usage:
 //
-//	dmmvet [-checks floateq,seeddet,...] [packages]
+//	dmmvet [-checks floateq,hotalloc,...] [-json] [packages]
 //	dmmvet -list
+//	dmmvet -allowlist [packages]
 //
-// Packages default to ./... . Findings print as file:line:col: message
-// (analyzer); the exit status is 1 when any finding remains, 2 on a load
-// or usage error. Individual findings are waived in source with a
-// justified `//dmmvet:allow <analyzer> — reason` comment on the same or
-// preceding line.
+// Packages default to ./... — run hotalloc over the full module; with a
+// partial package set its call graph treats in-repo callees as external.
+//
+// Annotation contract:
+//
+//	//dmmvet:hotpath                      (doc comment) marks a function as a
+//	                                      zero-alloc root; hotalloc checks it
+//	                                      and everything statically reachable.
+//	//dmmvet:coldpath — <why>             (doc comment) stops hotalloc traversal
+//	                                      at an amortized function; the
+//	                                      justification is mandatory.
+//	//dmmvet:allow <analyzer> — <why>     waives one finding on the same or the
+//	                                      following line. An allow without a
+//	                                      justification is itself a finding and
+//	                                      waives nothing.
+//
+// Findings print as file:line:col: message (analyzer), sorted by
+// (file, line, column, analyzer) so two runs are byte-identical; -json
+// emits the same order as a stable JSON array. Exit status: 0 clean,
+// 1 findings (including unjustified suppressions), 2 load/usage error.
 package main
 
 import (
@@ -27,8 +46,11 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicstate"
 	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/detflow"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/nakedgoroutine"
 	"repro/internal/analysis/seeddet"
 	"repro/internal/analysis/stateclone"
@@ -36,8 +58,11 @@ import (
 
 func all() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicstate.Analyzer,
 		ctxfirst.Analyzer,
+		detflow.Analyzer,
 		floateq.Analyzer,
+		hotalloc.Analyzer,
 		nakedgoroutine.Analyzer,
 		seeddet.Analyzer,
 		stateclone.Analyzer,
@@ -47,6 +72,8 @@ func all() []*analysis.Analyzer {
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a stable JSON array")
+	allowlist := flag.Bool("allowlist", false, "print every active //dmmvet:allow suppression and exit")
 	flag.Parse()
 
 	analyzers := all()
@@ -83,13 +110,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmmvet:", err)
 		os.Exit(2)
 	}
+	if *allowlist {
+		for _, s := range analysis.Suppressions(pkgs) {
+			fmt.Println(s)
+		}
+		return
+	}
 	findings, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmmvet:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dmmvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

@@ -1,0 +1,98 @@
+package analysis_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floateq"
+)
+
+// TestAllowJustificationRequired: the fixture carries one justified
+// suppression (waives its finding silently) and one unjustified
+// suppression, which is reported and waives nothing — the float
+// comparison under it still surfaces.
+func TestAllowJustificationRequired(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "testdata/src/allowtest", "repro/internal/fixture/allowtest")
+}
+
+// TestSuppressionsList: the -allowlist surface enumerates every allow
+// comment, justified or not, in position order.
+func TestSuppressionsList(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.Check("repro/internal/fixture/allowtest", "testdata/src/allowtest",
+		[]string{"testdata/src/allowtest/a.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups := analysis.Suppressions([]*analysis.Package{pkg})
+	if len(sups) != 3 {
+		t.Fatalf("got %d suppressions, want 3:\n%v", len(sups), sups)
+	}
+	for i := 1; i < len(sups); i++ {
+		if sups[i].Pos.Line < sups[i-1].Pos.Line {
+			t.Errorf("suppressions out of order: line %d after line %d", sups[i].Pos.Line, sups[i-1].Pos.Line)
+		}
+	}
+	var justified int
+	for _, s := range sups {
+		if len(s.Analyzers) != 1 || s.Analyzers[0] != "floateq" {
+			t.Errorf("suppression %v names %v, want [floateq]", s.Pos, s.Analyzers)
+		}
+		if s.Justification != "" {
+			justified++
+		}
+	}
+	if justified != 2 {
+		t.Errorf("got %d justified suppressions, want 2", justified)
+	}
+}
+
+// TestFindingsByteIdentical: two runs over the same packages presented in
+// opposite orders must render byte-identical output, both in the text
+// form and in the -json form — the determinism contract of the findings
+// sort by (file, line, column, analyzer).
+func TestFindingsByteIdentical(t *testing.T) {
+	loader := analysis.NewLoader()
+	ord, err := loader.Check("repro/internal/fixture/ordertest", "testdata/src/ordertest",
+		[]string{"testdata/src/ordertest/a.go", "testdata/src/ordertest/b.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alw, err := loader.Check("repro/internal/fixture/allowtest", "testdata/src/allowtest",
+		[]string{"testdata/src/allowtest/a.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(pkgs []*analysis.Package) (string, string) {
+		findings, err := analysis.Run(pkgs, []*analysis.Analyzer{floateq.Analyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) == 0 {
+			t.Fatal("fixture produced no findings; the determinism test needs a non-trivial set")
+		}
+		var text strings.Builder
+		for _, f := range findings {
+			text.WriteString(f.String())
+			text.WriteByte('\n')
+		}
+		var js bytes.Buffer
+		if err := analysis.WriteJSON(&js, findings); err != nil {
+			t.Fatal(err)
+		}
+		return text.String(), js.String()
+	}
+
+	text1, json1 := render([]*analysis.Package{ord, alw})
+	text2, json2 := render([]*analysis.Package{alw, ord})
+	if text1 != text2 {
+		t.Errorf("text output differs across package orderings:\n--- run 1 ---\n%s--- run 2 ---\n%s", text1, text2)
+	}
+	if json1 != json2 {
+		t.Errorf("JSON output differs across package orderings:\n--- run 1 ---\n%s--- run 2 ---\n%s", json1, json2)
+	}
+}

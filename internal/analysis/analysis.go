@@ -7,26 +7,37 @@
 // checkers port to the upstream API mechanically if the dependency ever
 // becomes available.
 //
+// Two analyzer shapes exist: Run analyzers see one type-checked package
+// at a time (the classic go/analysis contract), RunModule analyzers see
+// every loaded package at once — required by whole-program dataflow
+// checks like hotalloc, whose call graph crosses package boundaries.
+//
 // Suppression: a finding is dropped when the line it points at — or the
 // line directly above it — carries a comment of the form
 //
 //	//dmmvet:allow <analyzer> — <justification>
 //
-// naming the reporting analyzer. The justification is mandatory by
-// convention (reviewed, not machine-checked).
+// naming the reporting analyzer. The justification is machine-checked: a
+// suppression whose justification is empty or missing is itself reported
+// as a finding (analyzer "allow"), so an unexplained waiver can never
+// make a run clean. Active suppressions are enumerable via Suppressions
+// (the `dmmvet -allowlist` surface).
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"regexp"
 	"sort"
 	"strings"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and RunModule
+// must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in reports and suppression comments.
 	Name string
@@ -34,6 +45,9 @@ type Analyzer struct {
 	Doc string
 	// Run applies the check to one type-checked package.
 	Run func(*Pass) error
+	// RunModule applies the check to every loaded package at once
+	// (whole-program analyses: cross-package call graphs).
+	RunModule func(*ModulePass) error
 }
 
 // Pass presents one type-checked package to an Analyzer.
@@ -56,6 +70,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass presents every loaded package to a RunModule analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	findings *[]Finding
+}
+
+// Reportf records a diagnostic at pos, resolved through pkg's FileSet.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Finding is one diagnostic produced by an analyzer.
 type Finding struct {
 	Analyzer string
@@ -67,31 +98,144 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
-var allowRe = regexp.MustCompile(`dmmvet:allow\s+([A-Za-z0-9_,\-]+)`)
+// jsonFinding is the stable wire form of a Finding for `dmmvet -json`.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
 
-// suppressions maps file name -> line -> analyzer names allowed there.
-func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+// WriteJSON renders findings as a deterministic JSON array (sorted by
+// SortFindings order, indented, trailing newline) for CI artifacts and
+// editor integrations.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		out[i] = jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// AllowAnalyzerName is the analyzer name attached to findings about the
+// suppression mechanism itself (missing justifications). It is not a
+// runnable analyzer and cannot be waived with //dmmvet:allow.
+const AllowAnalyzerName = "allow"
+
+// Suppression is one active //dmmvet:allow comment.
+type Suppression struct {
+	Pos           token.Position
+	Analyzers     []string
+	Justification string
+}
+
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s:%d: allow %s — %s",
+		s.Pos.Filename, s.Pos.Line, strings.Join(s.Analyzers, ","), s.Justification)
+}
+
+// allowRe captures the analyzer list and everything after it; the
+// justification separator (an em/en dash or one or more hyphens) is
+// parsed from the tail so both `— reason` and `-- reason` spell a
+// justified waiver. Anchored to the comment start (Go directive style,
+// no space after //) so prose that merely mentions the syntax — like
+// this paragraph — is not parsed as a suppression.
+var allowRe = regexp.MustCompile(`^//dmmvet:allow\s+([A-Za-z0-9_,\-]+[A-Za-z0-9_])\s*(.*)$`)
+
+var justSepRe = regexp.MustCompile(`^\s*(?:—|–|-+)\s*`)
+
+// parseAllow extracts the analyzer names and justification from one
+// comment's text, reporting ok=false when the comment is not an allow.
+func parseAllow(text string) (names []string, justification string, ok bool) {
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(m[1], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	tail := m[2]
+	if sep := justSepRe.FindString(tail); sep != "" {
+		justification = strings.TrimSpace(tail[len(sep):])
+	}
+	return names, justification, true
+}
+
+// Suppressions returns every //dmmvet:allow comment in pkgs, sorted by
+// position — the `dmmvet -allowlist` review surface.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, just, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					out = append(out, Suppression{
+						Pos:           pkg.Fset.Position(c.Pos()),
+						Analyzers:     names,
+						Justification: just,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
+// suppressions maps file name -> line -> analyzer names allowed there,
+// and reports unjustified allows as findings through report.
+func suppressions(fset *token.FileSet, files []*ast.File, report func(Finding)) map[string]map[int]map[string]bool {
 	sup := make(map[string]map[int]map[string]bool)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				names, just, ok := parseAllow(c.Text)
+				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				if just == "" {
+					report(Finding{
+						Analyzer: AllowAnalyzerName,
+						Pos:      pos,
+						Message: fmt.Sprintf("suppression of %s has no justification; write `//dmmvet:allow %s — <why this is safe>`",
+							strings.Join(names, ","), strings.Join(names, ",")),
+					})
+					continue // an unjustified allow suppresses nothing
+				}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int]map[string]bool)
 					sup[pos.Filename] = byLine
 				}
-				names := byLine[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					byLine[pos.Line] = names
+				lineNames := byLine[pos.Line]
+				if lineNames == nil {
+					lineNames = make(map[string]bool)
+					byLine[pos.Line] = lineNames
 				}
-				for _, n := range strings.Split(m[1], ",") {
-					names[strings.TrimSpace(n)] = true
+				for _, n := range names {
+					lineNames[n] = true
 				}
 			}
 		}
@@ -99,13 +243,40 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 	return sup
 }
 
-// Run applies every analyzer to every package, filters findings through
-// //dmmvet:allow suppressions, and returns them sorted by position.
+// SortFindings orders findings by (file, line, column, analyzer,
+// message) — a total order, so output is byte-identical across runs and
+// package orderings.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if findings[i].Analyzer != findings[j].Analyzer {
+			return findings[i].Analyzer < findings[j].Analyzer
+		}
+		return findings[i].Message < findings[j].Message
+	})
+}
+
+// Run applies every analyzer to every package (package analyzers
+// per-package, module analyzers once over the whole set), filters
+// findings through justified //dmmvet:allow suppressions, reports
+// unjustified suppressions as findings, and returns everything in
+// SortFindings order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var all []Finding
+	var raw []Finding
 	for _, pkg := range pkgs {
-		var raw []Finding
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -118,25 +289,40 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
-		sup := suppressions(pkg.Fset, pkg.Syntax)
-		for _, f := range raw {
-			if byLine := sup[f.Pos.Filename]; byLine != nil {
-				if byLine[f.Pos.Line][f.Analyzer] || byLine[f.Pos.Line-1][f.Analyzer] {
-					continue
-				}
-			}
-			all = append(all, f)
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, findings: &raw}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].Pos, all[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+
+	// One suppression table across every loaded file; unjustified allows
+	// become findings that no allow can waive.
+	var all []Finding
+	sup := make(map[string]map[int]map[string]bool)
+	for _, pkg := range pkgs {
+		for file, byLine := range suppressions(pkg.Fset, pkg.Syntax, func(f Finding) { all = append(all, f) }) {
+			if sup[file] == nil {
+				sup[file] = byLine
+				continue
+			}
+			for line, names := range byLine {
+				sup[file][line] = names
+			}
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+	}
+	for _, f := range raw {
+		if byLine := sup[f.Pos.Filename]; byLine != nil {
+			if byLine[f.Pos.Line][f.Analyzer] || byLine[f.Pos.Line-1][f.Analyzer] {
+				continue
+			}
 		}
-		return all[i].Analyzer < all[j].Analyzer
-	})
+		all = append(all, f)
+	}
+	SortFindings(all)
 	return all, nil
 }

@@ -1,0 +1,185 @@
+// Package atomicstate guards the internal/obs concurrency contract: a
+// struct field that participates in sync/atomic — either a typed atomic
+// (atomic.Int64, atomic.Uint64, …) or a plain integer passed by address
+// to the atomic.AddXxx/LoadXxx/StoreXxx functions — must never also be
+// touched with plain loads and stores outside the file that defines its
+// struct. Mixed access is a data race the race detector only catches
+// when both sides happen to run under -race at the same time; this makes
+// it a static finding.
+//
+// Two rules:
+//
+//   - A field of a typed atomic type may only be used as the receiver of
+//     a method call (v.Load(), v.Add(1), …). Ranging over a slice of
+//     atomics or indexing one is fine; copying the value or reading it
+//     without a method is not.
+//   - A field that appears as &x.f in a sync/atomic function call is
+//     atomic-managed: every other access to that field outside its
+//     struct's defining file (where constructors legitimately initialize
+//     it before publication) must also go through sync/atomic.
+package atomicstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicstate",
+	Doc: "fields accessed via sync/atomic must never also be accessed with plain loads/stores " +
+		"outside their defining file (mixed access is a data race)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find atomic-managed plain fields (&x.f handed to
+	// sync/atomic) and the file each field's struct is defined in.
+	managed := make(map[*types.Var]bool)
+	atomicUse := make(map[ast.Node]bool) // SelectorExprs consumed by an atomic call
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldObj(pass, sel); v != nil {
+					managed[v] = true
+					atomicUse[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		fileName := pass.Fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldObj(pass, sel)
+			if v == nil {
+				return true
+			}
+			// Rule 1: typed atomics are method-call-only everywhere.
+			if isAtomicType(v.Type()) {
+				if !isMethodReceiverUse(pass, f, sel) {
+					pass.Reportf(sel.Pos(),
+						"plain access to atomic-typed field %s.%s; only method calls (Load/Store/Add/…) are race-free",
+						recvLabel(sel), v.Name())
+				}
+				return true
+			}
+			// Rule 2: atomic-managed plain fields outside the defining file.
+			if managed[v] && !atomicUse[sel] && pass.Fset.Position(v.Pos()).Filename != fileName {
+				pass.Reportf(sel.Pos(),
+					"plain access to %s.%s, which file %s manages with sync/atomic; use atomic loads/stores",
+					recvLabel(sel), v.Name(), shortName(pass.Fset.Position(v.Pos()).Filename))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldObj resolves sel to a struct field object, or nil.
+func fieldObj(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values.
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isMethodReceiverUse reports whether sel (a typed-atomic field access)
+// is the receiver of a method call — `x.f.Load()` — or has its address
+// taken to call a method through a pointer. It walks the enclosing
+// expression from the file root, because the AST has no parent links.
+func isMethodReceiverUse(pass *analysis.Pass, root *ast.File, sel *ast.SelectorExpr) bool {
+	ok := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		outer, isSel := n.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		if ast.Unparen(outer.X) == sel || isAddrOf(outer.X, sel) {
+			if fn, isFn := pass.TypesInfo.Uses[outer.Sel].(*types.Func); isFn && fn != nil {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func isAddrOf(e ast.Expr, sel *ast.SelectorExpr) bool {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	return ok && un.Op == token.AND && ast.Unparen(un.X) == sel
+}
+
+func recvLabel(sel *ast.SelectorExpr) string {
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return recvLabel(x) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return recvLabel(&ast.SelectorExpr{X: x.X, Sel: &ast.Ident{Name: ""}})
+	default:
+		return "value"
+	}
+}
+
+func shortName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

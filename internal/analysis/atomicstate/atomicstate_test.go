@@ -1,0 +1,15 @@
+package atomicstate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicstate"
+)
+
+// TestAtomicState: a.go establishes the contract (hits managed via
+// sync/atomic, total a typed atomic), b.go breaks it with plain loads
+// and stores and a value copy of the typed atomic.
+func TestAtomicState(t *testing.T) {
+	analysistest.Run(t, atomicstate.Analyzer, "testdata/src/atomictest", "repro/internal/fixture/atomictest")
+}

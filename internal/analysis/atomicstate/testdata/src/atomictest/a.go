@@ -1,0 +1,25 @@
+// Package atomictest exercises atomicstate: counters owns its fields'
+// atomicity contract in this file; b.go violates it from outside.
+package atomictest
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64        // managed with sync/atomic below
+	total atomic.Int64 // typed atomic: method calls only
+}
+
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0 // plain write inside the defining file: pre-publication init is allowed
+	return c
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total.Add(1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits) + c.total.Load()
+}

@@ -1,0 +1,16 @@
+package atomictest
+
+import "sync/atomic"
+
+func leak(c *counters) int64 {
+	n := c.hits                    // want `plain access to c\.hits, which file a\.go manages with sync/atomic`
+	n += atomic.LoadInt64(&c.hits) // atomic access from another file is fine
+	v := c.total                   // want `plain access to atomic-typed field c\.total`
+	_ = v
+	return n + c.total.Load() // method-call receiver use is the contract
+}
+
+func store(c *counters) {
+	c.hits = 7 // want `plain access to c\.hits, which file a\.go manages with sync/atomic`
+	atomic.StoreInt64(&c.hits, 7)
+}

@@ -1,0 +1,336 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// check parses and type-checks src, returning every function declaration
+// with the shared FileSet and type info.
+func check(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, info
+}
+
+func graphOf(t *testing.T, fset *token.FileSet, file *ast.File, info *types.Info, name string) *cfg.Graph {
+	t.Helper()
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return cfg.New(name, fd.Body, info)
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+const dumpSrc = `package p
+
+import "os"
+
+const gate = false
+
+func ifElse(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}
+
+func forLoop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}
+
+func switchFall(x int) string {
+	switch x {
+	case 0:
+		fallthrough
+	case 1:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+func sel(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func deferClose(f *os.File) error {
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		defer f.Sync()
+	}
+	return nil
+}
+
+func gated(x int) int {
+	if gate {
+		x = 999
+	}
+	return x
+}
+`
+
+// TestDumpGolden pins the block/edge structure for each control form the
+// analyzers rely on. The dumps are load-bearing documentation: the
+// fallthrough edge in switchFall, the continue→for.post and break→join
+// edges in forLoop, and — in gated — the constant-false arm left with no
+// incoming edge, which is how invariant.Enabled blocks fall off the hot
+// path.
+func TestDumpGolden(t *testing.T) {
+	fset, file, info := check(t, dumpSrc)
+	golden := map[string]string{
+		"ifElse": `func ifElse:
+  b0 entry: [x > 0] -> b1 b2
+  b1 if.then: [x++] -> b3
+  b2 if.else: [x--] -> b3
+  b3 join: [return x]
+`,
+		"forLoop": `func forLoop:
+  b0 entry: [s := 0; i := 0] -> b1
+  b1 for.head: [i < n] -> b2 b3
+  b2 for.body: [i == 3] -> b5 b6
+  b3 join: [return s]
+  b4 for.post: [i++] -> b1
+  b5 if.then: [continue] -> b4
+  b6 join: [i == 7] -> b7 b8
+  b7 if.then: [break] -> b3
+  b8 join: [s += i] -> b4
+`,
+		"switchFall": `func switchFall:
+  b0 entry: [x] -> b2 b3 b4
+  b1 join: []
+  b2 switch.case: [0; fallthrough] -> b3
+  b3 switch.case: [1; return "small"]
+  b4 switch.default: [return "big"]
+`,
+		"sel": `func sel:
+  b0 entry: [] -> b2 b3
+  b1 join: []
+  b2 select.comm: [v := <-a; return v]
+  b3 select.comm: [v := <-b; return v]
+`,
+		"deferClose": `func deferClose:
+  b0 entry: [defer f.Close(); i := 0] -> b1
+  b1 for.head: [i < 3] -> b2 b3
+  b2 for.body: [defer f.Sync()] -> b4
+  b3 join: [return nil]
+  b4 for.post: [i++] -> b1
+`,
+		"gated": `func gated:
+  b0 entry: [gate] -> b2
+  b1 if.then: [x = 999] -> b2
+  b2 join: [return x]
+`,
+	}
+	for name, want := range golden {
+		got := graphOf(t, fset, file, info, name).Dump(fset)
+		if got != want {
+			t.Errorf("%s dump mismatch:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+		}
+	}
+}
+
+const coldSrc = `package p
+
+import "errors"
+
+func mixed(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("negative")
+	}
+	x *= 2
+	return x, nil
+}
+
+func spin() int {
+	for {
+	}
+}
+`
+
+// TestColdBlocks: the error-return arm is cold (reaches only a failure
+// exit), the steady path is warm, and an infinite loop — which reaches no
+// exit at all — stays warm so its body is still checked.
+func TestColdBlocks(t *testing.T) {
+	fset, file, info := check(t, coldSrc)
+
+	g := graphOf(t, fset, file, info, "mixed")
+	var sig *types.Signature
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "mixed" {
+			sig = info.Defs[fd.Name].Type().(*types.Signature)
+		}
+	}
+	cold := g.ColdBlocks(info, sig)
+	var coldKinds, warmKinds []string
+	for _, blk := range g.Blocks {
+		if cold[blk] {
+			coldKinds = append(coldKinds, blk.Kind)
+		} else {
+			warmKinds = append(warmKinds, blk.Kind)
+		}
+	}
+	if strings.Join(coldKinds, ",") != "if.then" {
+		t.Errorf("cold blocks = %v, want only the error-return arm", coldKinds)
+	}
+	if strings.Join(warmKinds, ",") != "entry,join" {
+		t.Errorf("warm blocks = %v, want entry and the success path", warmKinds)
+	}
+
+	g = graphOf(t, fset, file, info, "spin")
+	cold = g.ColdBlocks(info, nil)
+	for _, blk := range g.Blocks {
+		if cold[blk] {
+			t.Errorf("infinite loop block b%d %s classified cold; must stay warm", blk.Index, blk.Kind)
+		}
+	}
+}
+
+const traceSrc = `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+func tainted() *rand.Rand {
+	t0 := time.Now()
+	seed := t0.UnixNano()
+	mixed := seed ^ 0x5DEECE66D
+	return rand.New(rand.NewSource(mixed))
+}
+
+func clean(base int64, k int64) *rand.Rand {
+	seed := base + k
+	return rand.New(rand.NewSource(seed))
+}
+`
+
+// TestTrace: the use-def chains must reach time.Now through two
+// assignments and an xor, and must not invent taint for a Seed+k chain.
+func TestTrace(t *testing.T) {
+	_, file, info := check(t, traceSrc)
+
+	findSeedArg := func(name string) (ast.Expr, *cfg.UseDef) {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name {
+				continue
+			}
+			g := cfg.New(name, fd.Body, info)
+			ud := g.Defs(info)
+			var arg ast.Expr
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "NewSource" {
+						arg = call.Args[0]
+						return false
+					}
+				}
+				return true
+			})
+			return arg, ud
+		}
+		t.Fatalf("no function %s", name)
+		return nil, nil
+	}
+
+	sawNow := func(arg ast.Expr, ud *cfg.UseDef) (bool, int) {
+		found := false
+		hops := -1
+		ud.Trace(arg, func(e ast.Expr, via []cfg.Def) bool {
+			if call, ok := e.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && sel.Sel.Name == "Now" {
+						found = true
+						hops = len(via)
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return found, hops
+	}
+
+	arg, ud := findSeedArg("tainted")
+	found, hops := sawNow(arg, ud)
+	if !found {
+		t.Fatal("Trace did not reach time.Now from the rand.NewSource seed argument")
+	}
+	// mixed ← seed ← t0 — three definitions on the path.
+	if hops != 3 {
+		t.Errorf("taint path length = %d defs, want 3 (mixed ← seed ← t0)", hops)
+	}
+
+	arg, ud = findSeedArg("clean")
+	if found, _ := sawNow(arg, ud); found {
+		t.Error("Trace found wall-clock taint in a Seed+k derivation")
+	}
+}
+
+// TestReachingOut: within one block, a later definition kills an earlier
+// one — the block-local gen set keeps the last write per variable.
+func TestReachingOut(t *testing.T) {
+	fset, file, info := check(t, `package p
+
+func f() int {
+	x := 1
+	x = 2
+	y := x
+	return y
+}
+`)
+	g := graphOf(t, fset, file, info, "f")
+	ud := g.Defs(info)
+	out := ud.ReachingOut(g.Entry)
+	for v, d := range out {
+		if v.Name() == "x" {
+			if line := fset.Position(d.Pos).Line; line != 5 {
+				t.Errorf("reaching def of x is line %d, want 5 (x = 2 kills x := 1)", line)
+			}
+		}
+	}
+	if len(ud.DefsOf(nil)) != 0 {
+		t.Error("DefsOf(nil) must be empty")
+	}
+}

@@ -1,0 +1,117 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exitClass partitions terminating blocks.
+type exitClass int
+
+const (
+	exitNone    exitClass = iota // does not terminate here
+	exitSuccess                  // normal return / fall off the end
+	exitFailure                  // return with a non-nil error, or panic
+)
+
+// ColdBlocks returns the blocks that belong to the function's failure
+// unwinding: every path out of a cold block terminates in a failure exit —
+// a `return` whose final result is a non-nil expression of type error, a
+// panic, or an os.Exit-shaped call. Allocation on such paths does not
+// count against an amortized zero-alloc budget, because taking one ends
+// the run.
+//
+// The classification is syntactic on the return's final operand: a
+// literal `nil` is a success, anything else a failure. A tail
+// `return x, err` with err == nil at runtime is therefore treated as
+// failure unwinding — the one deliberately unsound corner, documented in
+// the hotalloc analyzer, that keeps `if err != nil { return … }` ladders
+// out of every hot-path report.
+//
+// sig is the enclosing function's type; info resolves result types. Both
+// may be nil, in which case only panic-terminated blocks are failure
+// exits.
+func (g *Graph) ColdBlocks(info *types.Info, sig *types.Signature) map[*Block]bool {
+	class := make(map[*Block]exitClass, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		if len(blk.Succs) != 0 {
+			continue
+		}
+		class[blk] = g.classifyExit(blk, info, sig)
+	}
+
+	// A block is warm when it can reach a success exit; cold when it
+	// cannot, but can reach a failure exit. Blocks that reach neither
+	// (infinite loops, empty selects) stay warm: the conservative side.
+	warm := reachesClass(g, class, exitSuccess)
+	failing := reachesClass(g, class, exitFailure)
+	cold := make(map[*Block]bool)
+	for _, blk := range g.Blocks {
+		if !warm[blk] && failing[blk] {
+			cold[blk] = true
+		}
+	}
+	return cold
+}
+
+func (g *Graph) classifyExit(blk *Block, info *types.Info, sig *types.Signature) exitClass {
+	if len(blk.Nodes) == 0 {
+		return exitSuccess // fell off the end
+	}
+	last := blk.Nodes[len(blk.Nodes)-1]
+	switch n := last.(type) {
+	case *ast.ReturnStmt:
+		if info == nil || sig == nil || sig.Results() == nil || sig.Results().Len() == 0 {
+			return exitSuccess
+		}
+		lastRes := sig.Results().At(sig.Results().Len() - 1)
+		if !isErrorType(lastRes.Type()) || len(n.Results) == 0 {
+			return exitSuccess
+		}
+		final := ast.Unparen(n.Results[len(n.Results)-1])
+		if id, ok := final.(*ast.Ident); ok && id.Name == "nil" {
+			return exitSuccess
+		}
+		return exitFailure
+	case *ast.ExprStmt:
+		if isTerminalCall(n.X) {
+			return exitFailure
+		}
+	}
+	return exitSuccess
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// reachesClass returns the blocks from which some path terminates in an
+// exit of class want (reverse reachability).
+func reachesClass(g *Graph, class map[*Block]exitClass, want exitClass) map[*Block]bool {
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	seen := make(map[*Block]bool)
+	var queue []*Block
+	for blk, c := range class {
+		if c == want {
+			seen[blk] = true
+			queue = append(queue, blk)
+		}
+	}
+	for len(queue) > 0 {
+		blk := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, p := range preds[blk] {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,316 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Alloc is one operation that may allocate on the heap.
+type Alloc struct {
+	Pos  token.Pos
+	What string // human-readable reason, e.g. "append may grow its backing array"
+}
+
+// Allocs walks the expression/statement tree rooted at n and returns
+// every operation the classifier cannot prove allocation-free. The
+// classification is deliberately conservative — it mirrors what the
+// compiler's escape analysis *may* do, not what it provably does on one
+// toolchain version:
+//
+//   - make, new, append: always counted (append may grow; make/new of
+//     anything may be heap-allocated once the value escapes).
+//   - composite literals: &T{…} and slice/map literals are counted;
+//     plain struct/array value literals stay on the stack and are not.
+//   - closures: a func literal that captures enclosing variables
+//     allocates its environment; a capture-free literal does not.
+//   - interface conversions: converting a non-pointer-shaped concrete
+//     value to an interface boxes it. Pointer-shaped values (pointers,
+//     channels, maps, funcs, unsafe.Pointer) and untyped nil do not box.
+//     Both explicit conversions I(x) and implicit ones at call sites
+//     (concrete argument to interface parameter, including variadic
+//     ...any) are counted.
+//   - strings: concatenation via +/+=, and string<->[]byte/[]rune
+//     conversions.
+//   - go statements (a new goroutine) and defer inside a loop (a
+//     heap-allocated defer record).
+//   - map writes (incremental growth) and channel sends are NOT counted:
+//     sends don't allocate, and map assignment only grows pre-sized
+//     tables amortizedly; hot paths that write maps should be caught by
+//     their make/range instead.
+//
+// Function bodies inside n are not entered: the caller walks the call
+// graph and classifies each function's own body exactly once.
+func Allocs(info *types.Info, n ast.Node) []Alloc {
+	var out []Alloc
+	add := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Alloc{Pos: pos, What: fmt.Sprintf(format, args...)})
+	}
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(info, n) {
+				add(n.Pos(), "closure captures enclosing variables (heap-allocated environment)")
+			}
+			return false // the literal's body is the callee's problem
+
+		case *ast.CallExpr:
+			classifyCall(info, n, add)
+
+		case *ast.CompositeLit:
+			classifyComposite(info, n, add)
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "&%s{…} escapes to the heap", typeLabel(info, cl))
+					// The inner literal is subsumed by this report.
+					for _, e := range cl.Elts {
+						ast.Inspect(e, inspect)
+					}
+					return false
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n.X) {
+				add(n.OpPos, "string concatenation allocates")
+			}
+
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info, n.Lhs[0]) {
+				add(n.TokPos, "string concatenation allocates")
+			}
+
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement spawns a goroutine")
+			// still look inside the call's arguments
+			for _, a := range n.Call.Args {
+				ast.Inspect(a, inspect)
+			}
+			return false
+
+		case *ast.ForStmt, *ast.RangeStmt:
+			// defer inside a loop cannot be open-coded.
+			ast.Inspect(n, func(inner ast.Node) bool {
+				if d, ok := inner.(*ast.DeferStmt); ok {
+					add(d.Pos(), "defer inside a loop heap-allocates its record")
+				}
+				switch inner.(type) {
+				case *ast.FuncLit:
+					return false
+				}
+				return true
+			})
+			// fall through to normal traversal for everything else
+		}
+		return true
+	}
+	ast.Inspect(n, inspect)
+	return out
+}
+
+func classifyCall(info *types.Info, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				add(call.Pos(), "make(%s) allocates", typeLabelExpr(info, call.Args[0]))
+			case "new":
+				add(call.Pos(), "new(%s) allocates", typeLabelExpr(info, call.Args[0]))
+			case "append":
+				add(call.Pos(), "append may grow its backing array")
+			case "panic":
+				// Terminal; its boxing happens on a dead path.
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) parses as a call whose Fun is a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		classifyConversion(info, call.Pos(), dst, src, call.Args[0], add)
+		return
+	}
+
+	// Implicit interface conversions at the call boundary.
+	sig := calleeSignature(info, call)
+	if sig == nil {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice: no per-element boxing
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || pointerShaped(at) || isNilOrConst(info, arg) {
+			continue
+		}
+		add(arg.Pos(), "argument boxes %s into interface %s", at, pt)
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		// The variadic backing slice itself.
+		add(call.Pos(), "variadic call allocates its argument slice")
+	}
+}
+
+func classifyConversion(info *types.Info, pos token.Pos, dst, src types.Type, arg ast.Expr, add func(token.Pos, string, ...any)) {
+	if src == nil || dst == nil {
+		return
+	}
+	du := dst.Underlying()
+	su := src.Underlying()
+	switch {
+	case types.IsInterface(du) && !types.IsInterface(su):
+		if !pointerShaped(src) && !isNilOrConst(info, arg) {
+			add(pos, "conversion boxes %s into interface %s", src, dst)
+		}
+	case isStringType(du) && isByteOrRuneSlice(su):
+		add(pos, "[]byte/[]rune → string conversion allocates")
+	case isByteOrRuneSlice(du) && isStringType(su):
+		add(pos, "string → []byte/[]rune conversion allocates")
+	}
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		if tv, ok := info.Types[call.Fun]; ok {
+			sig, _ := tv.Type.Underlying().(*types.Signature)
+			return sig
+		}
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	sig, _ := obj.Type().Underlying().(*types.Signature)
+	return sig
+}
+
+func classifyComposite(info *types.Info, cl *ast.CompositeLit, add func(token.Pos, string, ...any)) {
+	tv, ok := info.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		add(cl.Pos(), "slice literal %s{…} allocates its backing array", typeLabel(info, cl))
+	case *types.Map:
+		add(cl.Pos(), "map literal %s{…} allocates", typeLabel(info, cl))
+	}
+	// Struct/array value literals live on the stack unless their address
+	// is taken (handled at the &T{…} case).
+}
+
+// capturesOuter reports whether lit references any variable declared
+// outside its own body (a closure environment).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured {
+			return !captured
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() != token.NoPos && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// pointerShaped reports whether a value of type t fits an interface's
+// data word directly, without boxing.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isNilOrConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return true
+	}
+	// Constants are interned in static data; converting one to an
+	// interface needs no runtime allocation.
+	return tv.Value != nil
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	if info == nil || e == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isStringType(tv.Type.Underlying())
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func typeLabel(info *types.Info, cl *ast.CompositeLit) string {
+	if tv, ok := info.Types[cl]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "composite"
+}
+
+func typeLabelExpr(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "T"
+}

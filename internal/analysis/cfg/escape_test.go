@@ -1,0 +1,37 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cfg"
+)
+
+// classifier exposes the allocation classifier as an analyzer so the
+// fixture can be driven by the `// want` harness. It reports every
+// classification in every function body — no call graph, no cold-path
+// pruning — which is exactly the raw surface hotalloc builds on.
+var classifier = &analysis.Analyzer{
+	Name: "escape",
+	Doc:  "test-only surface over cfg.Allocs",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				for _, a := range cfg.Allocs(pass.TypesInfo, fd.Body) {
+					pass.Reportf(a.Pos, "%s", a.What)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestEscapeClassifier(t *testing.T) {
+	analysistest.Run(t, classifier, "testdata/src/escapetest", "repro/internal/fixture/escapetest")
+}

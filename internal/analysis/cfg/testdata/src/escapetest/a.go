@@ -1,0 +1,64 @@
+// Package escapetest exercises the conservative cases of the cfg
+// allocation/escape classifier through the test-local wrapper analyzer.
+package escapetest
+
+type point struct{ x, y int }
+
+type boxer interface{ m() }
+
+type impl struct{ v int }
+
+func (impl) m() {}
+
+func sink(v interface{})      { _ = v }
+func sinkv(vs ...interface{}) { _ = vs }
+
+func builtins(n int) []int {
+	s := make([]int, n) // want `make\(\[\]int\) allocates`
+	p := new(point)     // want `new\(.*point\) allocates`
+	s = append(s, p.x)  // want `append may grow its backing array`
+	return s
+}
+
+func composites(n int) {
+	_ = []int{1, 2, n}         // want `slice literal .* allocates its backing array`
+	_ = map[string]int{"a": n} // want `map literal .* allocates`
+	q := &point{1, 2}          // want `escapes to the heap`
+	_ = q
+	v := point{3, 4} // value literal stays on the stack: no finding
+	_ = v
+}
+
+func closures(k int) func() int {
+	free := func() int { return 1 } // capture-free literal: no finding
+	_ = free
+	return func() int { return k } // want `closure captures enclosing variables`
+}
+
+func boxing(n int, p *point, bx boxer) {
+	sink(n)                    // want `argument boxes int into interface`
+	sink(p)                    // pointer-shaped: no boxing
+	sink(bx)                   // already an interface: no boxing
+	sink(nil)                  // untyped nil: no boxing
+	sink(42)                   // constant: interned, no boxing
+	_ = boxer(impl{v: n})      // want `conversion boxes .* into interface`
+	sinkv(n, p)                // want `argument boxes int into interface` `variadic call allocates its argument slice`
+	sinkv()                    // empty variadic call passes a nil slice: no finding
+	sinkv([]interface{}{n}...) // want `slice literal .* allocates` — the forwarded slice, not per-element boxing
+}
+
+func strs(a, b string, bs []byte) string {
+	_ = a + b      // want `string concatenation allocates`
+	a += b         // want `string concatenation allocates`
+	_ = []byte(a)  // want `string → \[\]byte/\[\]rune conversion allocates`
+	_ = string(bs) // want `\[\]byte/\[\]rune → string conversion allocates`
+	return a
+}
+
+func spawnAndDefer(f func()) {
+	go f() // want `go statement spawns a goroutine`
+	for i := 0; i < 3; i++ {
+		defer f() // want `defer inside a loop heap-allocates its record`
+	}
+	defer f() // a single open-coded defer: no finding
+}

@@ -1,0 +1,347 @@
+// Package detflow guards the Seed+k bit-reproducibility contract with
+// dataflow rather than syntax: attempt k's trajectory — and everything
+// reported from it — must be a pure function of Options.Seed + k. Three
+// nondeterminism sources are checked inside the solver packages
+// (internal/{circuit,la,ode,solc,memristor,device,solg}):
+//
+//   - map iteration whose order can reach a reported value: a `range`
+//     over a map whose body writes state that outlives the loop, appends
+//     to an outer slice, returns, or calls out. Order-insensitive bodies
+//     — a keyed write m[k] = v under the range key, delete(m, k) — are
+//     recognized and exempt.
+//   - time.Now anywhere in a solver package (wall-clock telemetry like
+//     attempt timing must be waived explicitly with a justified
+//     //dmmvet:allow detflow, keeping every wall-clock read reviewable).
+//   - rand sources whose seed is tainted by the wall clock through
+//     assignment chains: seeddet catches time.Now lexically inside the
+//     rand.NewSource call; detflow chases the seed argument through the
+//     cfg package's SSA-lite use-def chains, so `s := time.Now().
+//     UnixNano(); rng := rand.New(rand.NewSource(s))` is caught too, and
+//     the finding names the dataflow path.
+package detflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "forbid nondeterminism sources in solver packages — map-range order reaching reported values, " +
+		"time.Now, wall-clock-tainted rand seeds — naming the dataflow path",
+	Run: run,
+}
+
+// solverPkgs are the import-path segments of the packages under the
+// Seed+k determinism contract.
+var solverPkgs = []string{
+	"internal/circuit",
+	"internal/la",
+	"internal/ode",
+	"internal/solc",
+	"internal/memristor",
+	"internal/device",
+	"internal/solg",
+}
+
+func isSolverPkg(path string) bool {
+	for _, seg := range solverPkgs {
+		if strings.HasSuffix(path, seg) || strings.Contains(path, seg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !isSolverPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	g := cfg.New(fd.Name.Name, fd.Body, pass.TypesInfo)
+	ud := g.Defs(pass.TypesInfo)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		case *ast.CallExpr:
+			if isTimeNow(pass, n) {
+				pass.Reportf(n.Pos(),
+					"time.Now in solver package %s: the trajectory must be a pure function of Seed+attempt; "+
+						"justify wall-clock telemetry with //dmmvet:allow detflow", pass.Pkg.Name())
+			}
+			checkRandSeed(pass, ud, n)
+		}
+		return true
+	})
+}
+
+// checkMapRange flags a range over a map whose body's effects can carry
+// the iteration order out of the loop.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	keyObj := rangeVarObj(pass, rs.Key)
+
+	for _, stmt := range rs.Body.List {
+		if sink, why := orderSink(pass, stmt, rs, keyObj); sink != nil {
+			pass.Reportf(sink.Pos(),
+				"map iteration order can reach a reported value: %s (range over %s at line %d); "+
+					"iterate a sorted key slice, or justify with //dmmvet:allow detflow",
+				why, exprText(rs.X), pass.Fset.Position(rs.Pos()).Line)
+		}
+	}
+}
+
+// orderSink reports the first order-sensitive effect in stmt, or nil.
+// Recognized order-INSENSITIVE forms: `m[k] = v` and `m[k] op= v` where k
+// is the range key (a keyed write commutes across iteration orders),
+// `delete(m, k)`, and bodies touching only loop-local variables.
+func orderSink(pass *analysis.Pass, stmt ast.Stmt, rs *ast.RangeStmt, keyObj *types.Var) (ast.Node, string) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		// Keyed-write exemption.
+		if len(s.Lhs) == 1 {
+			if ix, ok := ast.Unparen(s.Lhs[0]).(*ast.IndexExpr); ok {
+				if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && keyObj != nil && pass.TypesInfo.Uses[id] == keyObj {
+					return nil, ""
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if n, why := outerWrite(pass, lhs, rs); n != nil {
+				return n, why
+			}
+		}
+		// append to an outer slice arrives via the RHS.
+		for _, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+						return call, "append accumulates in iteration order"
+					}
+				}
+			}
+		}
+		return nil, ""
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return nil, ""
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				if id.Name == "delete" {
+					return nil, "" // keyed delete commutes
+				}
+				return nil, ""
+			}
+		}
+		return call, fmt.Sprintf("call %s(…) runs with loop-order-dependent state", exprText(call.Fun))
+	case *ast.ReturnStmt:
+		// An all-constant return (`return false`, `return 0, nil`) is an
+		// existential predicate: whichever iteration fires it, the caller
+		// sees the same value — order-insensitive.
+		allConst := true
+		for _, res := range s.Results {
+			if tv, ok := pass.TypesInfo.Types[res]; !ok || (tv.Value == nil && !tv.IsNil()) {
+				allConst = false
+				break
+			}
+		}
+		if allConst {
+			return nil, ""
+		}
+		return s, "returns from inside the map range"
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.BlockStmt:
+		// Nested control flow: recurse over the contained statements.
+		var found ast.Node
+		var why string
+		ast.Inspect(s, func(inner ast.Node) bool {
+			if found != nil || inner == s {
+				return found == nil
+			}
+			if st, ok := inner.(ast.Stmt); ok {
+				if n, w := orderSink(pass, st, rs, keyObj); n != nil {
+					found, why = n, w
+					return false
+				}
+				// Only descend through the recognized compound kinds;
+				// orderSink already recursed where needed.
+				switch st.(type) {
+				case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.BlockStmt:
+					return true
+				}
+				return false
+			}
+			return true
+		})
+		return found, why
+	case *ast.IncDecStmt:
+		if n, why := outerWrite(pass, s.X, rs); n != nil {
+			return n, why
+		}
+		return nil, ""
+	default:
+		return nil, ""
+	}
+}
+
+// outerWrite reports lhs when it writes state that outlives the range
+// body: an identifier declared outside the loop, a field, a dereference,
+// or an index of an outer composite.
+func outerWrite(pass *analysis.Pass, lhs ast.Expr, rs *ast.RangeStmt) (ast.Node, string) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return nil, ""
+		}
+		obj, _ := pass.TypesInfo.Uses[e].(*types.Var)
+		if obj == nil {
+			obj, _ = pass.TypesInfo.Defs[e].(*types.Var)
+		}
+		if obj == nil {
+			return nil, ""
+		}
+		if obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End() {
+			return e, fmt.Sprintf("writes %s, which outlives the loop, in iteration order", e.Name)
+		}
+		return nil, ""
+	case *ast.SelectorExpr:
+		return e, fmt.Sprintf("writes field %s in iteration order", exprText(e))
+	case *ast.StarExpr:
+		return e, "writes through a pointer in iteration order"
+	case *ast.IndexExpr:
+		return outerWrite(pass, e.X, rs)
+	}
+	return nil, ""
+}
+
+func rangeVarObj(pass *analysis.Pass, e ast.Expr) *types.Var {
+	if e == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// checkRandSeed chases the seed argument of rand constructors through
+// the use-def chains, reporting wall-clock taint with its path.
+func checkRandSeed(pass *analysis.Pass, ud *cfg.UseDef, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "NewChaCha8", "New":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if path, tainted := wallClockTaint(pass, ud, arg); tainted {
+			pass.Reportf(call.Pos(),
+				"rand source seeded from the wall clock via %s; derive the seed from Options.Seed+attempt so replays are bit-identical",
+				path)
+			return
+		}
+	}
+}
+
+// wallClockTaint walks the use-def chains backward from e looking for a
+// time.Now call, returning a human-readable dataflow path when found.
+func wallClockTaint(pass *analysis.Pass, ud *cfg.UseDef, e ast.Expr) (string, bool) {
+	var path string
+	found := false
+	ud.Trace(e, func(expr ast.Expr, via []Def) bool {
+		if found {
+			return false
+		}
+		if call, ok := ast.Unparen(expr).(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+				var hops []string
+				for _, d := range via {
+					hops = append(hops, fmt.Sprintf("%s (line %d)", d.Var.Name(), pass.Fset.Position(d.Pos).Line))
+				}
+				hops = append(hops, "time.Now()")
+				path = strings.Join(hops, " ← ")
+				return false
+			}
+		}
+		return true
+	})
+	return path, found
+}
+
+// Def re-exports the cfg definition record for the Trace callback.
+type Def = cfg.Def
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func isTimeNow(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now"
+}
+
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(…)"
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[…]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

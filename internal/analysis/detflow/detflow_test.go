@@ -1,0 +1,22 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detflow"
+)
+
+// TestDetFlow drives the analyzer over a fixture loaded under a solver
+// import path: map-range order sinks (with the keyed-write, keyed-delete,
+// and constant-return exemptions), wall-clock reads, and a rand seed
+// whose taint is only visible through the use-def chains.
+func TestDetFlow(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "testdata/src/detflowtest", "repro/internal/solc/detflowtest")
+}
+
+// TestDetFlowGating: the identical nondeterminism sources under a
+// non-solver import path produce zero findings.
+func TestDetFlowGating(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "testdata/src/nonsolver", "repro/internal/fixture/nonsolver")
+}

@@ -1,0 +1,68 @@
+// Package detflowtest exercises detflow under a solver import path
+// (repro/internal/solc/detflowtest): map-iteration order sinks, wall-clock
+// reads, and seed taint chased through assignment chains.
+package detflowtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+type result struct{ order []string }
+
+func mapOrder(m map[string]int, r *result) {
+	for k := range m {
+		r.order = append(r.order, k) // want `writes field r\.order in iteration order`
+	}
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `writes keys, which outlives the loop, in iteration order`
+	}
+	_ = keys
+	var n int
+	for _, v := range m {
+		n += v // want `writes n, which outlives the loop` — conservative: commutative folds need a justified allow
+	}
+	_ = n
+}
+
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // keyed write under the range key commutes: no finding
+	}
+	for k := range m {
+		delete(m, k) // keyed delete commutes: no finding
+	}
+	return out
+}
+
+func anyNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true // constant return: an existential predicate, order-insensitive
+		}
+	}
+	return false
+}
+
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k // want `returns from inside the map range`
+	}
+	return ""
+}
+
+func wall() int64 {
+	t := time.Now() // want `time\.Now in solver package`
+	return t.UnixNano()
+}
+
+func badSeed() *rand.Rand {
+	s := time.Now().UnixNano()         // want `time\.Now in solver package`
+	return rand.New(rand.NewSource(s)) // want `rand source seeded from the wall clock via s \(line \d+\) ← time\.Now\(\)` `rand source seeded from the wall clock via s \(line \d+\) ← time\.Now\(\)`
+}
+
+func goodSeed(seed, attempt int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + attempt)) // Seed+k derivation: no finding
+}

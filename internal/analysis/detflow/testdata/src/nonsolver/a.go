@@ -1,0 +1,22 @@
+// Package nonsolver is the gating twin of detflowtest: the same
+// nondeterminism sources under a non-solver import path must produce
+// zero findings — detflow's contract covers only the solver packages.
+package nonsolver
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badSeed() *rand.Rand {
+	s := time.Now().UnixNano()
+	return rand.New(rand.NewSource(s))
+}

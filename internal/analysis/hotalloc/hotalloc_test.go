@@ -1,0 +1,19 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotalloc"
+)
+
+// TestHotAlloc drives the analyzer over an IMEX-shaped fixture: one
+// seeded allocation on the steady path must be caught, while the cold
+// error exit, the constant-false debug gate, and the justified coldpath
+// boundary stay silent. Cross-package traversal (Step → obs/la in the
+// real tree) is exercised by the repository self-vet test in
+// internal/analysis, since fixture packages cannot import each other
+// under the offline source importer.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/hotalloctest", "repro/internal/fixture/hotalloctest")
+}

@@ -1,0 +1,93 @@
+// Package hotalloctest is an IMEX-shaped fixture for hotalloc: a stepper
+// whose Step carries one seeded allocation on its steady path, plus the
+// pruning cases — cold error unwinding, a constant-false debug gate, and
+// a justified coldpath boundary — that must stay silent.
+package hotalloctest
+
+import (
+	"errors"
+	"math"
+	"strings"
+)
+
+const debug = false
+
+type vec []float64
+
+type stepper struct {
+	buf  vec
+	gain float64
+	n    int
+}
+
+// Step advances by one fixed step. The make below is the seeded
+// allocation the analyzer must catch; everything else is exempt for a
+// distinct reason.
+//
+//dmmvet:hotpath
+func (s *stepper) Step(x vec) (float64, error) {
+	if len(x) != s.n {
+		return 0, errors.New("dimension mismatch") // cold failure exit: errors.New not reported
+	}
+	tmp := make(vec, s.n) // want `allocation on hot path \(reachable from \(\*stepper\)\.Step\): make`
+	copy(tmp, x)
+	s.axpy(tmp)
+	if debug {
+		s.trace() // constant-false gate: pruned, trace's allocations not reported
+	}
+	s.grow()
+	return s.dot(x), nil
+}
+
+// axpy is reached from Step through the call graph and is clean.
+func (s *stepper) axpy(x vec) {
+	for i := range x {
+		s.buf[i] += s.gain * x[i]
+	}
+}
+
+func (s *stepper) dot(x vec) float64 {
+	var t float64
+	for i := range x {
+		t += x[i] * s.buf[i]
+	}
+	return math.Abs(t) // math is on the clean-package allowlist
+}
+
+// trace allocates freely but sits behind the constant-false debug gate.
+func (s *stepper) trace() {
+	parts := []string{"step"}
+	_ = append(parts, "done")
+}
+
+// grow allocates, but is a declared amortized boundary.
+//
+//dmmvet:coldpath — workspace growth happens once per resize, amortized across the run
+func (s *stepper) grow() {
+	if len(s.buf) < s.n {
+		s.buf = make(vec, s.n)
+	}
+}
+
+// badCold is missing its justification.
+//
+//dmmvet:coldpath
+func (s *stepper) badCold() {} // want `//dmmvet:coldpath on badCold has no justification`
+
+type ifc interface{ f() }
+
+// dyn must report the dynamic dispatch it cannot traverse.
+//
+//dmmvet:hotpath
+func dyn(v ifc, cb func()) {
+	v.f() // want `interface method call \(ifc\)\.f on hot path .* dynamic dispatch`
+	cb()  // want `dynamic call through cb on hot path`
+}
+
+// ext calls outside the loaded package set into a package not on the
+// clean allowlist.
+//
+//dmmvet:hotpath
+func ext(s string) int {
+	return strings.Count(s, "x") // want `call to strings\.Count on hot path .* not known allocation-free`
+}

@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicstate"
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/detflow"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/nakedgoroutine"
+	"repro/internal/analysis/seeddet"
+	"repro/internal/analysis/stateclone"
+)
+
+// TestSelfVet runs the complete dmmvet suite over the repository's own
+// packages and requires zero findings — the tree must stay clean under
+// its own analyzers, with every waiver justified. This is the tier-1
+// regression gate for the analyzers themselves: a change that makes
+// hotalloc or detflow misfire on real code fails here, not in CI after
+// merge. It is also the only place cross-package hotalloc traversal
+// (Step → obs/la) is exercised, since fixture packages cannot import
+// each other under the offline source importer.
+func TestSelfVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-vet type-checks the whole module; skipped in -short")
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{
+		atomicstate.Analyzer,
+		ctxfirst.Analyzer,
+		detflow.Analyzer,
+		floateq.Analyzer,
+		hotalloc.Analyzer,
+		nakedgoroutine.Analyzer,
+		seeddet.Analyzer,
+		stateclone.Analyzer,
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("self-vet: %s", f)
+	}
+}

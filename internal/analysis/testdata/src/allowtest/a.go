@@ -1,0 +1,17 @@
+// Package allowtest proves the suppression contract: a justified
+// //dmmvet:allow waives its finding (same line or line above), an
+// unjustified one waives nothing and is itself reported.
+package allowtest
+
+func eq(a, b float64) bool {
+	if a == b { //dmmvet:allow floateq — exact sentinel comparison, bit-identical by construction
+		return true
+	}
+	//dmmvet:allow floateq // want `suppression of floateq has no justification`
+	return a != b // want `floating-point != comparison`
+}
+
+func eqAbove(a, b float64) bool {
+	//dmmvet:allow floateq — boundary sentinel compared bit-exactly
+	return a == b
+}

@@ -1,0 +1,3 @@
+package ordertest
+
+func g(x, y float64) bool { return x != y }

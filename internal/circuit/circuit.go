@@ -59,6 +59,7 @@ func (b *Builder) Build() *Circuit {
 		freeIdx:  make([]int, b.numNodes),
 	}
 	for n, src := range b.pins {
+		//dmmvet:allow detflow — collection order is discarded: the insertion sort below reorders pins by node index
 		c.pins = append(c.pins, pin{node: int(n), src: src})
 		c.pinned[n] = true
 	}

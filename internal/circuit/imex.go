@@ -130,6 +130,8 @@ func conductanceDrift(gNow, gCache la.Vector, tol float64) bool {
 
 // factorize assembles shift·I + A(g) through the stamp plan and factors it
 // on the selected path.
+//
+//dmmvet:coldpath — runs only on refactor events (first step, h change, conductance drift past RefactorTol); its allocations (dense workspace, first sparse clone) are amortized across the run, not per-step
 func (s *IMEXStepper) factorize(shift float64) error {
 	c := s.c
 	if s.Dense {
@@ -165,7 +167,12 @@ func (s *IMEXStepper) solveInto(dst, rhs la.Vector) {
 	s.slu.SolveInto(dst, rhs)
 }
 
-// Step advances the circuit state by h.
+// Step advances the circuit state by h. It is the innermost loop of
+// every solve and must not allocate on the steady path (the
+// TestIMEXStepTelemetryZeroAlloc budget); hotalloc enforces that
+// statically from this root.
+//
+//dmmvet:hotpath
 func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, error) {
 	c := s.c
 	if sys != ode.System(c) {

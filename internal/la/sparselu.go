@@ -202,6 +202,8 @@ func (f *SparseLU) CloneFor(a *CSR) (*SparseLU, error) {
 
 // Refactor recomputes the numeric factorization from the bound matrix's
 // current values, reusing the symbolic structure. It allocates nothing.
+//
+//dmmvet:hotpath
 func (f *SparseLU) Refactor() error {
 	x, aVal := f.x, f.a.Val
 	aRow, aSrc := f.aRow, f.aSrc
@@ -250,6 +252,8 @@ func (f *SparseLU) Refactor() error {
 
 // SolveInto solves A·x = b into dst using the current factorization. dst
 // may alias b. It allocates nothing.
+//
+//dmmvet:hotpath
 func (f *SparseLU) SolveInto(dst, b Vector) {
 	if len(b) != f.n || len(dst) != f.n {
 		panic("la: SparseLU.SolveInto length mismatch")

@@ -33,9 +33,13 @@ type Counter struct {
 func (c *Counter) Name() string { return c.name }
 
 // Inc adds one.
+//
+//dmmvet:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds d (d must be non-negative; counters only grow).
+//
+//dmmvet:hotpath
 func (c *Counter) Add(d int64) { c.v.Add(d) }
 
 // Value returns the current count.
@@ -53,6 +57,8 @@ func (g *Gauge) Name() string { return g.name }
 
 // Set stores v. Non-finite values are dropped so the JSON snapshot stays
 // marshalable; the last finite observation wins.
+//
+//dmmvet:hotpath
 func (g *Gauge) Set(v float64) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
@@ -62,6 +68,8 @@ func (g *Gauge) Set(v float64) {
 
 // Add atomically adds v (compare-and-swap loop; contention is expected to
 // be per-attempt, not per-step). Non-finite increments are dropped.
+//
+//dmmvet:hotpath
 func (g *Gauge) Add(v float64) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
@@ -94,10 +102,14 @@ type Histogram struct {
 func (h *Histogram) Name() string { return h.name }
 
 // Observe records one value.
+//
+//dmmvet:hotpath
 func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
 
 // ObserveN records n observations of the same value (the physics probes
 // fold whole per-sample histograms in through bucket midpoints).
+//
+//dmmvet:hotpath
 func (h *Histogram) ObserveN(v float64, n int64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -96,6 +96,8 @@ func (tl *Telemetry) StepObs() *StepObs {
 }
 
 // Accept records one accepted step of size h.
+//
+//dmmvet:hotpath
 func (o *StepObs) Accept(h float64) {
 	if o == nil {
 		return
@@ -105,6 +107,8 @@ func (o *StepObs) Accept(h float64) {
 }
 
 // Reject records one rejected or retried step.
+//
+//dmmvet:hotpath
 func (o *StepObs) Reject() {
 	if o == nil {
 		return
@@ -113,6 +117,8 @@ func (o *StepObs) Reject() {
 }
 
 // Refactor records one Jacobian refactorization.
+//
+//dmmvet:hotpath
 func (o *StepObs) Refactor() {
 	if o == nil {
 		return
@@ -121,6 +127,8 @@ func (o *StepObs) Refactor() {
 }
 
 // Newton records the Newton iteration count of one implicit step.
+//
+//dmmvet:hotpath
 func (o *StepObs) Newton(its int) {
 	if o == nil {
 		return
@@ -152,6 +160,8 @@ func (tl *Telemetry) EmitSnapshot() *Snapshot {
 // RecordPhysics folds one decimated physics sample into the gauges and
 // the memristor-state histogram. memHist holds per-bucket occupation
 // counts over [0,1]; they are folded in at bucket midpoints.
+//
+//dmmvet:hotpath
 func (tl *Telemetry) RecordPhysics(satFrac, maxDvDt, maxDxDt float64, memHist []int32) {
 	if tl == nil {
 		return

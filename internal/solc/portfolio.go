@@ -107,6 +107,7 @@ type attemptOut struct {
 // cancelled (via context) once it can no longer be beaten.
 func (pf *Portfolio) Solve(opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	//dmmvet:allow detflow — wall-clock telemetry only (Result.Wall); never feeds the trajectory or the winner policy
 	start := time.Now()
 
 	ctx := opts.Ctx
@@ -184,6 +185,7 @@ func (pf *Portfolio) Solve(opts Options) (Result, error) {
 				best = i
 				for j, c := range cancels {
 					if j > i {
+						//dmmvet:allow detflow — cancel is idempotent; which attempts get cancelled depends on the j > i set, not the order
 						c()
 					}
 				}
@@ -292,6 +294,7 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 			tr.Obs = tl.StepObs()
 		}
 	}
+	//dmmvet:allow detflow — wall-clock telemetry only (attempt duration in the trace); the trajectory reads only Seed+k state
 	wallStart := time.Now()
 
 	rng := rand.New(rand.NewSource(seed))

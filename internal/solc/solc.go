@@ -95,6 +95,7 @@ func CompileMode(bc *boolcirc.Circuit, pins map[boolcirc.Signal]bool, p circuit.
 		all[s] = v
 	}
 	for s, v := range all {
+		//dmmvet:allow detflow — PinBit is a keyed insert per signal; Builder.Build sorts pins by node before use
 		b.PinBit(nodeOf[s], v)
 	}
 	var eng circuit.Engine
