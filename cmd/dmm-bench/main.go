@@ -10,7 +10,12 @@
 //
 // The imex-sparse experiment benchmarks the sparse symbolic-once voltage
 // solve against the dense fallback on the 6-bit multiplier and, with
-// -json, writes the machine-readable BENCH_imex_sparse.json.
+// -json, writes the machine-readable BENCH_imex_sparse.json. The
+// imex-ladder experiment (ladder.go) measures the shifted-factor cache
+// with stale-factor refinement against the refactor-on-drift baseline,
+// checks trajectory and assignment equivalence, gates on
+// refactors/steps ≤ 5% and 0 allocs/step (nonzero exit otherwise), and
+// with -json writes BENCH_imex_ladder.json.
 package main
 
 import (
@@ -38,7 +43,7 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c, imex-sparse)")
+	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c, imex-sparse, imex-ladder)")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon for dynamical experiments")
 	attempts := flag.Int("attempts", 4, "random restarts per instance")
 	seeds := flag.Int("seeds", 4, "ensemble size for scaling/ensemble experiments")
@@ -46,7 +51,9 @@ func realMain() int {
 	parallel := flag.Int("parallel", 0, "worker-pool width for ensembles and raced restarts (0 = GOMAXPROCS)")
 	check := flag.Bool("check", false, "verify runtime invariants on every integration step of the dynamical experiments (no build tag needed)")
 	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
-	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse)")
+	hladder := flag.Float64("hladder", 0, "step-size ladder ratio: quantize h onto the geometric grid ratio^k and reuse cached shifted factors (0 = off; 1.1892 = 2^(1/4) recommended)")
+	factorCache := flag.Int("factor-cache", 0, "IMEX shifted-factor cache capacity in step-size rungs (0 = default 4)")
+	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse, imex-ladder)")
 	co := obs.BindFlags("dmm-bench", flag.CommandLine)
 	flag.Parse()
 
@@ -66,6 +73,8 @@ func realMain() int {
 	cfg.Parallelism = *parallel
 	cfg.Verify = *check
 	cfg.Dense = *dense
+	cfg.HLadder = *hladder
+	cfg.FactorCache = *factorCache
 	cfg.Telemetry = co.Telemetry
 
 	var bits []int
@@ -136,23 +145,32 @@ func realMain() int {
 		},
 	}
 
-	run := func(id string) bool {
+	// run reports whether id names an experiment and whether it passed
+	// (the gated experiments can fail; the report-only ones cannot).
+	run := func(id string) (found, ok bool) {
 		if id == "imex-sparse" {
 			if err := imexSparse(*jsonOut); err != nil {
 				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
-				return false
+				return true, false
 			}
-			return true
+			return true, true
+		}
+		if id == "imex-ladder" {
+			if err := imexLadder(*jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+				return true, false
+			}
+			return true, true
 		}
 		if fn, ok := static[id]; ok {
 			fmt.Println(fn().Render())
-			return true
+			return true, true
 		}
 		if fn, ok := dynamic[id]; ok {
 			fmt.Println(fn().Render())
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	}
 
 	if *exp == "all" {
@@ -164,8 +182,12 @@ func realMain() int {
 		}
 		return 0
 	}
-	if !run(*exp) {
+	found, ok := run(*exp)
+	if !found {
 		fmt.Fprintf(os.Stderr, "dmm-bench: unknown experiment %q\n", *exp)
+		return 1
+	}
+	if !ok {
 		return 1
 	}
 	return 0

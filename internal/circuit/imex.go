@@ -42,6 +42,37 @@ type IMEXStepper struct {
 	// staleness harmless; 0 refactors every step.
 	RefactorTol float64
 
+	// StaleMax widens the reuse band on the sparse path: when the
+	// conductance drift since a cached factorization exceeds RefactorTol
+	// but stays within StaleMax, the stale factor is kept as a
+	// preconditioner and the solve is iteratively refined against the
+	// freshly assembled matrix instead of refactoring (see solveRefined).
+	// The refined solution satisfies the current system to
+	// RefineTol·‖rhs‖∞, so accuracy is residual-controlled, not
+	// drift-controlled; the factor's useful lifetime is governed by the
+	// RefreshSweeps economics, so StaleMax is only a coarse safety gate.
+	// ≤ RefactorTol disables refinement (the seed behavior);
+	// DefaultStaleMax is the tuned ladder setting.
+	StaleMax float64
+	// RefineTol is the relative residual bound refined solves must meet
+	// (NewIMEX seeds DefaultRefineTol).
+	RefineTol float64
+	// MaxRefine bounds refinement sweeps per step before falling back to
+	// a full refactorization (NewIMEX seeds DefaultMaxRefine).
+	MaxRefine int
+	// RefreshSweeps is the break-even point of stale-factor reuse: after
+	// a refined solve that needed this many sweeps or more, the slot is
+	// refactored in place — the refined solution stands, but the next
+	// steps start from a fresh factor instead of grinding ever more
+	// sweeps out of an aging one (NewIMEX seeds DefaultRefreshSweeps).
+	RefreshSweeps int
+	// FactorCacheCap is the number of shifted factors kept, one per
+	// step-size rung (DefaultFactorCacheCap when 0 at first Step). Each
+	// slot owns a full numeric factor plus a conductance snapshot; with
+	// the step-size ladder the controller oscillates among a few adjacent
+	// rungs, so a handful of slots captures nearly all revisits.
+	FactorCacheCap int
+
 	// Dense selects the dense partial-pivoting LU instead of the sparse
 	// symbolic-once path (the -dense A/B comparator).
 	Dense bool
@@ -52,21 +83,29 @@ type IMEXStepper struct {
 	Obs *obs.StepObs
 
 	// sparse path: private values over the shared pattern, private numeric
-	// factors over the shared symbolic analysis.
-	csr *la.CSR
-	slu *la.SparseLU
+	// factors over the shared symbolic analysis, and the per-rung factor
+	// cache (the active factor is always cache.slots[...].fac installed
+	// via SetFactor).
+	csr   *la.CSR
+	slu   *la.SparseLU
+	cache facCache
 	// dense path
 	aMat *la.Dense
 	lu   *la.LU
 
+	// dense-path factor identity (the sparse path keys by cache slot).
 	haveFactor bool
 	hAtFactor  float64
 
 	g      la.Vector // per-branch conductances in plan order [mem | resistor]
-	gCache la.Vector // memristor part at the last factorization
+	gCache la.Vector // memristor part at the last dense factorization
 	rhs    la.Vector
 	nodeV  la.Vector
 	vNew   la.Vector
+	vPrev  la.Vector // solution one step back, for the refinement warm start
+	vPrev2 la.Vector // solution two steps back (quadratic extrapolation)
+	resid  la.Vector // refinement scratch: rhs − M·vNew
+	delta  la.Vector // refinement scratch: correction per sweep
 
 	// energy accumulates the dissipated energy ∫ Σ_b g_b·d_b² dt over the
 	// resistive branches (Sec. VI-I's polynomial-energy accounting).
@@ -80,19 +119,54 @@ func (s *IMEXStepper) Energy() float64 { return s.energy }
 // ResetEnergy zeroes the dissipation accumulator.
 func (s *IMEXStepper) ResetEnergy() { s.energy = 0 }
 
+// DefaultStaleMax is the stale-reuse band the solution-mode solver
+// enables alongside the step-size ladder: conductance drift up to 4×
+// keeps the cached factor as a refinement preconditioner. The band is
+// deliberately loose — relative drift of a near-floor conductance barely
+// moves the C/h-shifted system, so the refinement contraction stays fast
+// long after small branches have drifted past 100% — and the factor's
+// economic lifetime is governed by DefaultRefreshSweeps instead.
+const DefaultStaleMax = 4.0
+
+// Refinement defaults. Each sweep dst += M_stale⁻¹(rhs − M·dst) is one
+// triangular solve plus one fused residual pass — roughly a tenth of a
+// numeric refactorization on the 6-bit multiplier — and contracts the
+// residual by ‖M_stale⁻¹ΔA‖, the conductance drift weighted against the
+// shifted diagonal. With the extrapolated warm start most steps
+// converge in a few sweeps; once a solve needs DefaultRefreshSweeps the
+// sweeps cost about as much as refactoring, so the slot is refreshed in
+// place. DefaultMaxRefine is only the hard fallback bound
+// (solveRefined's contraction bail normally fires far earlier). The
+// 1e-6 relative residual is ~10³ tighter than the error the seed
+// predicate already accepted by reusing factors with RefactorTol-stale
+// conductances unrefined.
+const (
+	DefaultRefineTol      = 1e-6
+	DefaultMaxRefine      = 25
+	DefaultRefreshSweeps  = 20
+	DefaultFactorCacheCap = 4
+)
+
 // NewIMEX returns an IMEX stepper bound to c, using the sparse
 // symbolic-once solve; set Dense before the first Step for the dense
 // fallback.
 func NewIMEX(c *Circuit, stats *ode.Stats) *IMEXStepper {
 	return &IMEXStepper{
-		c:           c,
-		stats:       stats,
-		RefactorTol: 5e-3,
-		g:           la.NewVector(c.memBr.len() + c.resBr.len()),
-		gCache:      la.NewVector(c.nm),
-		rhs:         la.NewVector(c.nv),
-		nodeV:       la.NewVector(c.numNodes),
-		vNew:        la.NewVector(c.nv),
+		c:             c,
+		stats:         stats,
+		RefactorTol:   5e-3,
+		RefineTol:     DefaultRefineTol,
+		MaxRefine:     DefaultMaxRefine,
+		RefreshSweeps: DefaultRefreshSweeps,
+		g:             la.NewVector(c.memBr.len() + c.resBr.len()),
+		gCache:        la.NewVector(c.nm),
+		rhs:           la.NewVector(c.nv),
+		nodeV:         la.NewVector(c.numNodes),
+		vNew:          la.NewVector(c.nv),
+		vPrev:         la.NewVector(c.nv),
+		vPrev2:        la.NewVector(c.nv),
+		resid:         la.NewVector(c.nv),
+		delta:         la.NewVector(c.nv),
 	}
 }
 
@@ -102,11 +176,13 @@ func (s *IMEXStepper) Name() string { return "imex" }
 // Adaptive reports false: the stepper runs at the driver's fixed h.
 func (s *IMEXStepper) Adaptive() bool { return false }
 
-// needRefactor reports whether the cached factorization of (C/h·I + A)
-// must be refreshed for a step of size h: there is none yet, the step
-// size (and with it the diagonal shift) changed, staleness is disabled
-// (RefactorTol ≤ 0 refreshes every step), or some memristor conductance
-// drifted beyond the relative tolerance since the last factorization.
+// needRefactor reports whether the dense path's factorization of
+// (C/h·I + A) must be refreshed for a step of size h: there is none yet,
+// the step size (and with it the diagonal shift) changed, staleness is
+// disabled (RefactorTol ≤ 0 refreshes every step), or some memristor
+// conductance drifted beyond the relative tolerance since the last
+// factorization. The sparse path makes the same decision per cache slot
+// in classifyReuse, with the additional refine band (see faccache.go).
 func (s *IMEXStepper) needRefactor(h float64) bool {
 	if !s.haveFactor || s.RefactorTol <= 0 {
 		return true
@@ -128,34 +204,43 @@ func conductanceDrift(gNow, gCache la.Vector, tol float64) bool {
 	return false
 }
 
-// factorize assembles shift·I + A(g) through the stamp plan and factors it
-// on the selected path.
+// factorizeDense assembles shift·I + A(g) through the stamp plan and
+// factors it with the dense partial-pivoting LU. The sparse path factors
+// through refactorSlot (faccache.go) instead.
 //
-//dmmvet:coldpath — runs only on refactor events (first step, h change, conductance drift past RefactorTol); its allocations (dense workspace, first sparse clone) are amortized across the run, not per-step
-func (s *IMEXStepper) factorize(shift float64) error {
+//dmmvet:coldpath — runs only on dense-path refactor events (first step, h change, conductance drift past RefactorTol); its allocations are amortized across the run, not per-step
+func (s *IMEXStepper) factorizeDense(shift float64) error {
 	c := s.c
-	if s.Dense {
-		if s.aMat == nil {
-			s.aMat = la.NewDense(c.nv, c.nv)
-		}
-		c.plan.assemble(s.aMat.Data, true, shift, s.g)
-		lu, err := la.Factorize(s.aMat)
-		if err != nil {
-			return err
-		}
-		s.lu = lu
-		return nil
+	if s.aMat == nil {
+		s.aMat = la.NewDense(c.nv, c.nv)
 	}
-	if s.slu == nil {
-		s.csr = c.plan.valCSR()
-		slu, err := c.symb.CloneFor(s.csr)
-		if err != nil {
-			return err
-		}
-		s.slu = slu
+	c.plan.assemble(s.aMat.Data, true, shift, s.g)
+	lu, err := la.Factorize(s.aMat)
+	if err != nil {
+		return err
 	}
-	c.plan.assemble(s.csr.Val, false, shift, s.g)
-	return s.slu.Refactor()
+	s.lu = lu
+	return nil
+}
+
+// countRefactor tallies one numeric refactorization.
+func (s *IMEXStepper) countRefactor() {
+	if s.stats != nil {
+		s.stats.JacEvals++
+		s.stats.Refactors++
+	}
+	s.Obs.Refactor()
+}
+
+// countFactorHit tallies one step served from a cached factor, with the
+// refinement sweeps it took (0 for exact reuse).
+func (s *IMEXStepper) countFactorHit(sweeps int) {
+	if s.stats != nil {
+		s.stats.FactorHits++
+		s.stats.Refines += sweeps
+	}
+	s.Obs.FactorHit()
+	s.Obs.Refine(sweeps)
 }
 
 // solveInto solves the factored voltage system.
@@ -195,20 +280,44 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 		s.nodeV[pn.node] = pn.src.V(t + h)
 	}
 
-	// Assemble (C/h·I + A) and b through the stamp plan.
+	// Factor bookkeeping for (C/h·I + A). The dense path keeps one factor
+	// guarded by needRefactor; the sparse path looks up the per-rung cache
+	// and either reuses a factor exactly, keeps a stale one for iterative
+	// refinement (resolved after the RHS is assembled), or refactors.
 	shift := p.C / h
-	if s.needRefactor(h) {
-		if err := s.factorize(shift); err != nil {
-			return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+	var refineSlot *facSlot
+	var refineBits uint64
+	if s.Dense {
+		if s.needRefactor(h) {
+			if err := s.factorizeDense(shift); err != nil {
+				return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+			}
+			s.gCache.CopyFrom(s.g[:c.nm])
+			s.hAtFactor = h
+			s.haveFactor = true
+			s.countRefactor()
 		}
-		s.gCache.CopyFrom(s.g[:c.nm])
-		s.hAtFactor = h
-		s.haveFactor = true
-		if s.stats != nil {
-			s.stats.JacEvals++
-			s.stats.Refactors++
+	} else {
+		s.ensureCache()
+		hBits := math.Float64bits(h)
+		slot, hit := s.cache.lookup(hBits)
+		switch s.classifyReuse(slot, hit) {
+		case facRefactor:
+			if err := s.refactorSlot(slot, hBits, shift, false); err != nil {
+				return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+			}
+			s.countRefactor()
+		case facExact:
+			s.slu.SetFactor(slot.fac)
+			s.countFactorHit(0)
+		case facRefine:
+			// Assemble the current matrix values now — solveRefined
+			// computes residuals against them — but defer the solve (and
+			// the hit/refactor decision) until the RHS exists.
+			s.slu.SetFactor(slot.fac)
+			c.plan.assemble(s.csr.Val, false, shift, s.g)
+			refineSlot, refineBits = slot, hBits
 		}
-		s.Obs.Refactor()
 	}
 	s.rhs.Zero()
 	c.plan.assembleRHS(s.rhs, s.g, s.nodeV)
@@ -220,7 +329,38 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	for f := 0; f < c.nv; f++ {
 		s.rhs[f] += shift * x[c.vOff()+f]
 	}
-	s.solveInto(s.vNew, s.rhs)
+	if refineSlot != nil {
+		if sweeps, ok := s.solveRefined(); ok {
+			s.countFactorHit(sweeps)
+			if sweeps >= s.RefreshSweeps {
+				// The factor has aged past break-even: the sweeps this
+				// solve needed cost as much as a refactorization. The
+				// refined solution stands; refresh the slot (the current
+				// values are already assembled in s.csr) so the next
+				// steps start from a fresh factor.
+				if err := s.refactorSlot(refineSlot, refineBits, shift, true); err != nil {
+					return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+				}
+				s.countRefactor()
+			}
+		} else {
+			// The stale factor could not refine the residual down to
+			// RefineTol·‖rhs‖∞ (contraction bail or MaxRefine): pay the
+			// full refactorization and solve directly.
+			if err := s.refactorSlot(refineSlot, refineBits, shift, true); err != nil {
+				return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+			}
+			s.countRefactor()
+			s.slu.SolveInto(s.vNew, s.rhs)
+		}
+	} else {
+		// Direct solve: keep the warm-start history one and two steps
+		// behind for the next refined step (solveRefined shifts it
+		// itself).
+		s.vPrev2.CopyFrom(s.vPrev)
+		s.vPrev.CopyFrom(s.vNew)
+		s.solveInto(s.vNew, s.rhs)
+	}
 
 	// Updated full node-voltage view.
 	for n := 0; n < c.numNodes; n++ {

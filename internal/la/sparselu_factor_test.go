@@ -1,0 +1,197 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSparseLUMultiFactorSwitch keeps two numeric Factors over one
+// symbolic structure — the shifted-system cache pattern: factor the same
+// pattern at two diagonal shifts, switch between them with SetFactor,
+// and verify each still solves its own system after the other was
+// refactored.
+func TestSparseLUMultiFactorSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 25
+	m := randShiftedSparse(rng, n, 0.2, 6).Compile()
+	f, err := NewSparseLU(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := append([]float64(nil), m.Val...)
+	setShift := func(extra float64) {
+		copy(m.Val, base)
+		for i := 0; i < n; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if m.ColIdx[k] == i {
+					m.Val[k] += extra
+				}
+			}
+		}
+	}
+	denseSolve := func(extra float64, b Vector) Vector {
+		setShift(extra)
+		x, err := SolveDense(m.ToDense(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+
+	facA, facB := f.NewFactor(), f.NewFactor()
+	setShift(0)
+	f.SetFactor(facA)
+	if err := f.Refactor(); err != nil {
+		t.Fatal(err)
+	}
+	setShift(3)
+	f.SetFactor(facB)
+	if err := f.Refactor(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := NewVector(n)
+	for i := range b {
+		b[i] = 2*rng.Float64() - 1
+	}
+	got := NewVector(n)
+	// facA must still hold the shift-0 factorization even though facB was
+	// refactored after it through the same solver.
+	f.SetFactor(facA)
+	f.SolveInto(got, b)
+	want := denseSolve(0, b)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("factor A after B refactor: x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	f.SetFactor(facB)
+	f.SolveInto(got, b)
+	want = denseSolve(3, b)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("factor B: x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSparseLUCloneSharedSymbolicPrivateNumeric pins the CloneFor
+// contract the portfolio and the factor cache both lean on: clones share
+// the immutable symbolic arrays (same backing storage) but never alias
+// numeric values or workspaces.
+func TestSparseLUCloneSharedSymbolicPrivateNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 20
+	m := randShiftedSparse(rng, n, 0.25, 8).Compile()
+	f, err := NewSparseLU(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := &CSR{Rows: n, Cols: n, RowPtr: m.RowPtr, ColIdx: m.ColIdx, Val: append([]float64(nil), m.Val...)}
+	cp, err := f.CloneFor(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbolic structure is shared storage; numeric arrays are private.
+	if &f.li[0] != &cp.li[0] || &f.ui[0] != &cp.ui[0] || &f.perm[0] != &cp.perm[0] {
+		t.Fatal("clone does not share the symbolic arrays")
+	}
+	if &f.lx[0] == &cp.lx[0] || &f.ux[0] == &cp.ux[0] || &f.x[0] == &cp.x[0] {
+		t.Fatal("clone aliases numeric storage with its parent")
+	}
+	// A Factor sized by the parent installs into the clone (same symbolic
+	// structure) without touching the parent's values.
+	if err := f.Refactor(); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), f.ux...)
+	fac := f.NewFactor()
+	cp.SetFactor(fac)
+	for k := range m2.Val {
+		m2.Val[k] *= 1.5
+	}
+	if err := cp.Refactor(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range before {
+		if f.ux[k] != before[k] {
+			t.Fatal("refactoring the clone mutated the parent's numeric values")
+		}
+	}
+}
+
+// TestSparseLUCloneConcurrentRefactor runs parent and clones
+// concurrently — each refactoring and solving its own values — so the
+// race detector can certify that shared symbolic state is read-only.
+func TestSparseLUCloneConcurrentRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 30
+	m := randShiftedSparse(rng, n, 0.2, 10).Compile()
+	f, err := NewSparseLU(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := make([]*SparseLU, 4)
+	mats := make([]*CSR, 4)
+	for w := range workers {
+		mats[w] = &CSR{Rows: n, Cols: n, RowPtr: m.RowPtr, ColIdx: m.ColIdx, Val: append([]float64(nil), m.Val...)}
+		if workers[w], err = f.CloneFor(mats[w]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lu, mat := workers[w], mats[w]
+			rhs, x := NewVector(n), NewVector(n)
+			for i := range rhs {
+				rhs[i] = float64(w + i)
+			}
+			for pass := 0; pass < 50; pass++ {
+				for i := 0; i < n; i++ {
+					for k := mat.RowPtr[i]; k < mat.RowPtr[i+1]; k++ {
+						if mat.ColIdx[k] == i {
+							mat.Val[k] = 10 + float64(w) + float64(pass)/50
+						}
+					}
+				}
+				if err := lu.Refactor(); err != nil {
+					errs[w] = err
+					return
+				}
+				lu.SolveInto(x, rhs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestSparseLUSetFactorMismatchPanics verifies a Factor sized for a
+// different symbolic structure is rejected loudly.
+func TestSparseLUSetFactorMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	small, err := NewSparseLU(randShiftedSparse(rng, 5, 0.5, 6).Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewSparseLU(randShiftedSparse(rng, 24, 0.3, 6).Compile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetFactor accepted a factor from a different structure")
+		}
+	}()
+	big.SetFactor(small.NewFactor())
+}

@@ -28,6 +28,11 @@ type Telemetry struct {
 	Rejected  *Counter
 	FEvals    *Counter
 	Refactors *Counter
+	// FactorHits counts steps whose shifted voltage factor was served
+	// from the IMEX factor cache (exact or refined reuse); Refines counts
+	// iterative-refinement sweeps applied to stale-factor solves.
+	FactorHits *Counter
+	Refines    *Counter
 
 	// Distributions.
 	StepSize    *Histogram // accepted step size h
@@ -58,6 +63,8 @@ func NewTelemetry() *Telemetry {
 		Rejected:          r.Counter("steps.rejected"),
 		FEvals:            r.Counter("fevals"),
 		Refactors:         r.Counter("refactors"),
+		FactorHits:        r.Counter("factor.cache_hits"),
+		Refines:           r.Counter("factor.refines"),
 		StepSize:          r.Histogram("step.size", ExpBuckets(1e-7, 10, 8)),
 		NewtonIters:       r.Histogram("step.newton_iters", LinearBuckets(1, 1, 25)),
 		ConvTime:          r.Histogram("attempt.conv_time", ExpBuckets(0.5, 2, 12)),
@@ -74,11 +81,13 @@ func NewTelemetry() *Telemetry {
 // driver. Every method is nil-receiver safe so instrumented code paths
 // need no telemetry-enabled branch, and every method is allocation-free.
 type StepObs struct {
-	steps     *Counter
-	rejected  *Counter
-	refactors *Counter
-	stepSize  *Histogram
-	newton    *Histogram
+	steps      *Counter
+	rejected   *Counter
+	refactors  *Counter
+	factorHits *Counter
+	refines    *Counter
+	stepSize   *Histogram
+	newton     *Histogram
 }
 
 // StepObs returns the hot-path hook set (nil for a nil telemetry).
@@ -87,11 +96,13 @@ func (tl *Telemetry) StepObs() *StepObs {
 		return nil
 	}
 	return &StepObs{
-		steps:     tl.Steps,
-		rejected:  tl.Rejected,
-		refactors: tl.Refactors,
-		stepSize:  tl.StepSize,
-		newton:    tl.NewtonIters,
+		steps:      tl.Steps,
+		rejected:   tl.Rejected,
+		refactors:  tl.Refactors,
+		factorHits: tl.FactorHits,
+		refines:    tl.Refines,
+		stepSize:   tl.StepSize,
+		newton:     tl.NewtonIters,
 	}
 }
 
@@ -124,6 +135,28 @@ func (o *StepObs) Refactor() {
 		return
 	}
 	o.refactors.Inc()
+}
+
+// FactorHit records one step served from a cached shifted factor
+// (exact reuse or a successfully refined stale-factor solve).
+//
+//dmmvet:hotpath
+func (o *StepObs) FactorHit() {
+	if o == nil {
+		return
+	}
+	o.factorHits.Inc()
+}
+
+// Refine records n iterative-refinement sweeps applied to one
+// stale-factor solve.
+//
+//dmmvet:hotpath
+func (o *StepObs) Refine(n int) {
+	if o == nil || n == 0 {
+		return
+	}
+	o.refines.Add(int64(n))
 }
 
 // Newton records the Newton iteration count of one implicit step.

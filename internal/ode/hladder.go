@@ -1,0 +1,97 @@
+package ode
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultLadderRatio is the default geometric step-ladder ratio, 2^(1/4):
+// four rungs per octave of step size. Quantizing down onto that grid costs
+// at most ~16% of any attempted step, while the set of distinct step sizes
+// an adaptive controller can visit collapses from a continuum to a handful
+// of exact values per decade — which is what lets the IMEX voltage solve
+// key its numeric factorizations of (C/h·I + A) by step size and reuse
+// them (see circuit's factor cache and DESIGN.md "Shifted-system factor
+// reuse").
+const DefaultLadderRatio = 1.189207115002721 // 2^(1/4)
+
+// rungSnap absorbs the floating-point error of the log/exp round trip in
+// Rung∘Value: quantizing an exact rung value must return the same rung,
+// never the one below. With the ratio bounded away from 1 (NewHLadder
+// enforces ratio ≥ 1.01), the round-trip error in rung units stays below
+// ~1e-11, so 1e-9 snaps it without ever absorbing a real rung boundary.
+const rungSnap = 1e-9
+
+// HLadder quantizes step sizes onto the geometric grid h_k = ratio^k,
+// k ∈ ℤ, anchored at h_0 = 1 (one circuit time unit). Rung values are
+// exact float64 constants for a given ratio: two steps landing on the same
+// rung have bit-identical h, so anything keyed by the step size — the
+// C/h diagonal shift of the IMEX voltage system — can be cached and
+// reused across them.
+//
+// The grid is clamped to the band where ratio^k is a normal float64
+// (|k·ln ratio| ≤ 700); step sizes below the bottom rung pass through
+// unquantized. Within the band, Quantize is positive, within one ratio of
+// its input, monotone, and idempotent — properties pinned by
+// FuzzLadderQuantize.
+type HLadder struct {
+	ratio      float64
+	lnR        float64
+	kMin, kMax int
+	bottom     float64 // Value(kMin): the smallest representable rung
+}
+
+// NewHLadder returns a ladder with the given ratio. Ratios must lie in
+// [1.01, 16]: below that the rungs are too dense for the log/exp round
+// trip to snap reliably (and quantization would save nothing), above it
+// quantization could shrink a step 16-fold.
+func NewHLadder(ratio float64) (*HLadder, error) {
+	if math.IsNaN(ratio) || ratio < 1.01 || ratio > 16 {
+		return nil, fmt.Errorf("ode: step ladder ratio must be in [1.01, 16], got %v", ratio)
+	}
+	l := &HLadder{ratio: ratio, lnR: math.Log(ratio)}
+	l.kMin = int(math.Ceil(-700 / l.lnR))
+	l.kMax = int(math.Floor(700 / l.lnR))
+	l.bottom = l.Value(l.kMin)
+	return l, nil
+}
+
+// Ratio returns the geometric ratio between adjacent rungs.
+func (l *HLadder) Ratio() float64 { return l.ratio }
+
+// Rung returns the largest k with Value(k) ≤ h, clamped to the
+// representable band. h must be positive and finite.
+func (l *HLadder) Rung(h float64) int {
+	k := int(math.Floor(math.Log(h)/l.lnR + rungSnap))
+	if k < l.kMin {
+		k = l.kMin
+	}
+	if k > l.kMax {
+		k = l.kMax
+	}
+	return k
+}
+
+// Value returns the rung value ratio^k, clamped to the representable band.
+func (l *HLadder) Value(k int) float64 {
+	if k < l.kMin {
+		k = l.kMin
+	}
+	if k > l.kMax {
+		k = l.kMax
+	}
+	return math.Exp(float64(k) * l.lnR)
+}
+
+// Quantize maps h down onto the ladder: the largest rung not above h.
+// Non-positive, NaN, or infinite inputs, and inputs below the bottom of
+// the representable band, pass through unchanged.
+func (l *HLadder) Quantize(h float64) float64 {
+	if !(h > 0) || math.IsInf(h, 1) {
+		return h
+	}
+	if h < l.bottom {
+		return h
+	}
+	return l.Value(l.Rung(h))
+}

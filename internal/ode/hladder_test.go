@@ -1,0 +1,120 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHLadderQuantizeKnown pins the one value every benchmark and flag
+// default depends on: at the default 2^(1/4) ratio, h = 1e-3 quantizes
+// down to the rung 2^-10 (four rungs per octave make every fourth rung
+// an exact power of two).
+func TestHLadderQuantizeKnown(t *testing.T) {
+	l, err := NewHLadder(DefaultLadderRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.Quantize(1e-3)
+	want := math.Exp2(-10) // 9.765625e-4
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("Quantize(1e-3) = %.17g, want 2^-10 = %.17g", got, want)
+	}
+	if q := l.Quantize(1); q != 1 {
+		t.Fatalf("Quantize(1) = %v, want the anchor rung h_0 = 1", q)
+	}
+}
+
+// TestHLadderRungRoundTrip verifies Rung∘Value is the identity on every
+// rung of several ratios: quantizing an exact rung value must return the
+// same rung, never the one below (the rungSnap guarantee).
+func TestHLadderRungRoundTrip(t *testing.T) {
+	for _, ratio := range []float64{1.01, DefaultLadderRatio, 2, 16} {
+		l, err := NewHLadder(ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := l.kMin; k <= l.kMax; k += 7 {
+			v := l.Value(k)
+			if got := l.Rung(v); got != k {
+				t.Fatalf("ratio %v: Rung(Value(%d)) = %d", ratio, k, got)
+			}
+			if q := l.Quantize(v); q != v {
+				t.Fatalf("ratio %v: Quantize not idempotent on rung %d: %v -> %v", ratio, k, v, q)
+			}
+		}
+	}
+}
+
+// TestHLadderRejectsBadRatios pins the constructor's validity band.
+func TestHLadderRejectsBadRatios(t *testing.T) {
+	for _, ratio := range []float64{math.NaN(), 0, 0.5, 1, 1.0099, 16.01, math.Inf(1)} {
+		if _, err := NewHLadder(ratio); err == nil {
+			t.Errorf("NewHLadder(%v): expected error", ratio)
+		}
+	}
+}
+
+// TestHLadderPassThrough verifies non-positive, NaN, infinite, and
+// below-band inputs pass through unquantized.
+func TestHLadderPassThrough(t *testing.T) {
+	l, err := NewHLadder(DefaultLadderRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []float64{0, -1e-3, math.Inf(1), l.bottom / 2, 1e-320} {
+		if q := l.Quantize(h); q != h {
+			t.Errorf("Quantize(%v) = %v, want pass-through", h, q)
+		}
+	}
+	if q := l.Quantize(math.NaN()); !math.IsNaN(q) {
+		t.Errorf("Quantize(NaN) = %v, want NaN", q)
+	}
+}
+
+// FuzzLadderQuantize pins the quantizer's contract over arbitrary step
+// sizes and ratios: within the representable band the quantized step is
+// positive, within one ratio below the input (modulo the rungSnap
+// epsilon), monotone in the input, and bit-exactly idempotent.
+func FuzzLadderQuantize(f *testing.F) {
+	f.Add(1e-3, 2e-3, DefaultLadderRatio)
+	f.Add(1.0, 1.0, 2.0)
+	f.Add(5e-8, 0.3, 1.01)
+	f.Add(1e300, 1e-300, 16.0)
+	f.Fuzz(func(t *testing.T, h1, h2, ratio float64) {
+		l, err := NewHLadder(ratio)
+		if err != nil {
+			t.Skip("ratio outside the constructor's band")
+		}
+		const snapSlack = 1 + 2e-9 // rungSnap can round h up to the rung just above
+		for _, h := range []float64{h1, h2} {
+			q := l.Quantize(h)
+			if !(h > 0) || math.IsInf(h, 1) || math.IsNaN(h) || h < l.bottom {
+				if q != h && !(math.IsNaN(h) && math.IsNaN(q)) {
+					t.Fatalf("ratio %v: Quantize(%v) = %v, want pass-through", ratio, h, q)
+				}
+				continue
+			}
+			if !(q > 0) {
+				t.Fatalf("ratio %v: Quantize(%v) = %v, want positive", ratio, h, q)
+			}
+			if q > h*snapSlack {
+				t.Fatalf("ratio %v: Quantize(%v) = %v above input", ratio, h, q)
+			}
+			if h <= l.Value(l.kMax) && h > q*ratio*snapSlack {
+				t.Fatalf("ratio %v: Quantize(%v) = %v more than one ratio below", ratio, h, q)
+			}
+			if qq := l.Quantize(q); qq != q {
+				t.Fatalf("ratio %v: not idempotent: Quantize(%v) = %v, re-quantized %v", ratio, h, q, qq)
+			}
+		}
+		lo, hi := h1, h2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo > 0 && !math.IsInf(hi, 1) && !math.IsNaN(lo) && !math.IsNaN(hi) {
+			if l.Quantize(lo) > l.Quantize(hi) {
+				t.Fatalf("ratio %v: not monotone: Quantize(%v) > Quantize(%v)", ratio, lo, hi)
+			}
+		}
+	})
+}

@@ -48,17 +48,19 @@ type Stepper interface {
 
 // Stats accumulates integration effort counters.
 type Stats struct {
-	Steps     int // accepted steps
-	Rejected  int // rejected adaptive steps
-	FEvals    int // right-hand-side evaluations
-	JacEvals  int // Jacobian evaluations (implicit methods)
-	NewtonIts int // total Newton iterations (implicit methods)
-	Refactors int // linear-operator factorizations (IMEX/quasi-static cache refreshes)
+	Steps      int // accepted steps
+	Rejected   int // rejected adaptive steps
+	FEvals     int // right-hand-side evaluations
+	JacEvals   int // Jacobian evaluations (implicit methods)
+	NewtonIts  int // total Newton iterations (implicit methods)
+	Refactors  int // linear-operator factorizations (IMEX/quasi-static cache refreshes)
+	FactorHits int // steps served from a cached shifted factor (IMEX factor cache)
+	Refines    int // iterative-refinement sweeps applied to stale-factor solves
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("steps=%d rejected=%d fevals=%d jac=%d newton=%d refactors=%d",
-		s.Steps, s.Rejected, s.FEvals, s.JacEvals, s.NewtonIts, s.Refactors)
+	return fmt.Sprintf("steps=%d rejected=%d fevals=%d jac=%d newton=%d refactors=%d fhits=%d refines=%d",
+		s.Steps, s.Rejected, s.FEvals, s.JacEvals, s.NewtonIts, s.Refactors, s.FactorHits, s.Refines)
 }
 
 // ErrStepFailure is returned when a step cannot be completed (Newton

@@ -281,6 +281,24 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 			qs.Dense = true
 		}
 	}
+	var ladder *ode.HLadder
+	if opts.HLadderRatio > 0 {
+		ladder, err = ode.NewHLadder(opts.HLadderRatio)
+		if err != nil {
+			return attemptOut{}, err
+		}
+	}
+	if im, ok := stepper.(*circuit.IMEXStepper); ok {
+		if opts.FactorCache != 0 {
+			im.FactorCacheCap = opts.FactorCache
+		}
+		if ladder != nil {
+			// The ladder revisits rungs with real conductance drift in
+			// between; widen the reuse band so revisits refine instead of
+			// refactoring.
+			im.StaleMax = circuit.DefaultStaleMax
+		}
+	}
 
 	tl := opts.Telemetry
 	seed := opts.Seed + int64(idx)
@@ -314,9 +332,10 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 	driver := &ode.Driver{
 		Stepper: stepper,
 		H:       h, HMax: opts.HMax, Tol: opts.Tol,
-		TEnd: opts.TEnd,
-		Ctx:  ctx,
-		Obs:  tl.StepObs(),
+		TEnd:   opts.TEnd,
+		Ctx:    ctx,
+		Obs:    tl.StepObs(),
+		Ladder: ladder,
 		Observe: func(t float64, x la.Vector) {
 			eng.ClampState(x)
 			if opts.Observe != nil {
