@@ -10,10 +10,13 @@
 //	hotalloc        no allocations reachable from //dmmvet:hotpath roots
 //	detflow         no map-order/wall-clock dataflow into solver results
 //	atomicstate     no mixed atomic/plain access to the same field
+//	goroleak        every entry-point-reachable goroutine has a termination path
+//	lockorder       mutexes released on every warm path; acquisition order acyclic
+//	chandisc        channels close once, never racing senders; hot sends buffered
 //
 // Usage:
 //
-//	dmmvet [-checks floateq,hotalloc,...] [-json] [packages]
+//	dmmvet [-checks floateq,hotalloc,...] [-json] [-stats] [packages]
 //	dmmvet -list
 //	dmmvet -allowlist [packages]
 //
@@ -35,8 +38,11 @@
 //
 // Findings print as file:line:col: message (analyzer), sorted by
 // (file, line, column, analyzer) so two runs are byte-identical; -json
-// emits the same order as a stable JSON array. Exit status: 0 clean,
-// 1 findings (including unjustified suppressions), 2 load/usage error.
+// emits the same order as a stable JSON array. -stats adds per-analyzer
+// finding counts and wall time: as a text table on stderr, or — with
+// -json — by switching the payload to {"findings": […], "stats": […]}.
+// Exit status: 0 clean, 1 findings (including unjustified
+// suppressions), 2 load/usage error.
 package main
 
 import (
@@ -47,10 +53,13 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicstate"
+	"repro/internal/analysis/chandisc"
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/detflow"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/nakedgoroutine"
 	"repro/internal/analysis/seeddet"
 	"repro/internal/analysis/stateclone"
@@ -59,10 +68,13 @@ import (
 func all() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		atomicstate.Analyzer,
+		chandisc.Analyzer,
 		ctxfirst.Analyzer,
 		detflow.Analyzer,
 		floateq.Analyzer,
+		goroleak.Analyzer,
 		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		nakedgoroutine.Analyzer,
 		seeddet.Analyzer,
 		stateclone.Analyzer,
@@ -73,6 +85,7 @@ func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit findings as a stable JSON array")
+	stats := flag.Bool("stats", false, "report per-analyzer finding counts and wall time")
 	allowlist := flag.Bool("allowlist", false, "print every active //dmmvet:allow suppression and exit")
 	flag.Parse()
 
@@ -116,19 +129,31 @@ func main() {
 		}
 		return
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	findings, perAnalyzer, err := analysis.RunWithStats(pkgs, analyzers, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmmvet:", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut && *stats:
+		if err := analysis.WriteJSONStats(os.Stdout, findings, perAnalyzer); err != nil {
+			fmt.Fprintln(os.Stderr, "dmmvet:", err)
+			os.Exit(2)
+		}
+	case *jsonOut:
 		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
 			fmt.Fprintln(os.Stderr, "dmmvet:", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "%-16s %9s %9s\n", "analyzer", "findings", "wall-ms")
+			for _, s := range perAnalyzer {
+				fmt.Fprintf(os.Stderr, "%-16s %9d %9.1f\n", s.Analyzer, s.Findings, s.WallMS)
+			}
 		}
 	}
 	if len(findings) > 0 {

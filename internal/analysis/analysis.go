@@ -34,6 +34,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer describes one static check. Exactly one of Run and RunModule
@@ -124,6 +125,40 @@ func WriteJSON(w io.Writer, findings []Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// jsonStat is the stable wire form of an AnalyzerStat.
+type jsonStat struct {
+	Analyzer string  `json:"analyzer"`
+	Findings int     `json:"findings"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// WriteJSONStats renders findings and per-analyzer stats as one
+// deterministic JSON object — {"findings": […], "stats": […]} — the
+// `dmmvet -json -stats` surface. Field order, sorting and indentation
+// are fixed, so byte-identical inputs produce byte-identical output.
+func WriteJSONStats(w io.Writer, findings []Finding, stats []AnalyzerStat) error {
+	outF := make([]jsonFinding, len(findings))
+	for i, f := range findings {
+		outF[i] = jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		}
+	}
+	outS := make([]jsonStat, len(stats))
+	for i, s := range stats {
+		outS[i] = jsonStat{Analyzer: s.Analyzer, Findings: s.Findings, WallMS: s.WallMS}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Findings []jsonFinding `json:"findings"`
+		Stats    []jsonStat    `json:"stats"`
+	}{outF, outS})
 }
 
 // AllowAnalyzerName is the analyzer name attached to findings about the
@@ -265,43 +300,68 @@ func SortFindings(findings []Finding) {
 	})
 }
 
+// AnalyzerStat is one row of the per-analyzer run accounting `dmmvet
+// -stats` reports: the post-suppression finding count and the wall time
+// the analyzer spent across every package. The AllowAnalyzerName row
+// accounts for the suppression scan itself.
+type AnalyzerStat struct {
+	Analyzer string
+	Findings int
+	WallMS   float64
+}
+
 // Run applies every analyzer to every package (package analyzers
 // per-package, module analyzers once over the whole set), filters
 // findings through justified //dmmvet:allow suppressions, reports
 // unjustified suppressions as findings, and returns everything in
 // SortFindings order.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var raw []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a.Run == nil {
-				continue
-			}
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-				findings:  &raw,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
-			}
-		}
+	findings, _, err := RunWithStats(pkgs, analyzers, nil)
+	return findings, err
+}
+
+// RunWithStats is Run plus per-analyzer accounting. now supplies
+// timestamps and defaults to time.Now; tests inject a deterministic
+// clock so stats output can be byte-stability-checked. Exactly two now
+// calls bracket each analyzer (and two more the suppression scan), so a
+// fake clock ticking a fixed amount per call yields identical bytes on
+// every run. Stat rows cover every analyzer plus AllowAnalyzerName, in
+// sorted name order.
+func RunWithStats(pkgs []*Package, analyzers []*Analyzer, now func() time.Time) ([]Finding, []AnalyzerStat, error) {
+	if now == nil {
+		now = time.Now
 	}
+	var raw []Finding
+	wall := make(map[string]time.Duration, len(analyzers)+1)
 	for _, a := range analyzers {
-		if a.RunModule == nil {
-			continue
+		start := now()
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Syntax,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.TypesInfo,
+					findings:  &raw,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+				}
+			}
 		}
-		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, findings: &raw}
-		if err := a.RunModule(mp); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		if a.RunModule != nil {
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, findings: &raw}
+			if err := a.RunModule(mp); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
 		}
+		wall[a.Name] += now().Sub(start)
 	}
 
 	// One suppression table across every loaded file; unjustified allows
 	// become findings that no allow can waive.
+	supStart := now()
 	var all []Finding
 	sup := make(map[string]map[int]map[string]bool)
 	for _, pkg := range pkgs {
@@ -324,5 +384,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		all = append(all, f)
 	}
 	SortFindings(all)
-	return all, nil
+	wall[AllowAnalyzerName] += now().Sub(supStart)
+
+	counts := make(map[string]int, len(wall))
+	for _, f := range all {
+		counts[f.Analyzer]++
+	}
+	names := make([]string, 0, len(wall))
+	names = append(names, AllowAnalyzerName)
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	stats := make([]AnalyzerStat, len(names))
+	for i, n := range names {
+		stats[i] = AnalyzerStat{
+			Analyzer: n,
+			Findings: counts[n],
+			WallMS:   float64(wall[n]) / float64(time.Millisecond),
+		}
+	}
+	return all, stats, nil
 }

@@ -21,31 +21,56 @@ import (
 var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 var quoteRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 
+// Pkg names one fixture package for RunPkgs: the directory holding its
+// .go files and the import path it type-checks under.
+type Pkg struct {
+	Dir        string
+	ImportPath string
+}
+
 // Run type-checks the fixture package rooted at dir under the given
 // import path (which analyzers may inspect, e.g. nakedgoroutine's
 // internal/par allowlist), applies the analyzer, and diffs findings
 // against the fixture's `// want` comments.
 func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 	t.Helper()
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("reading fixture dir %s: %v", dir, err)
-	}
-	var files []string
-	for _, e := range ents {
-		if strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
-	}
-	if len(files) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
-	}
+	RunPkgs(t, a, []Pkg{{Dir: dir, ImportPath: importPath}})
+}
+
+// RunPkgs is the multi-package form of Run: every fixture package is
+// type-checked through one Loader in slice order — list a dependency
+// before its importer, so cross-fixture imports resolve through the
+// Loader's registry — and the analyzer sees all of them at once. That
+// is the shape interprocedural analyzers need in tests: a caller in
+// package A, the goroutine it spawns in package B. `// want` comments
+// are honored in every package.
+func RunPkgs(t *testing.T, a *analysis.Analyzer, fixturePkgs []Pkg) {
+	t.Helper()
 	loader := analysis.NewLoader()
-	pkg, err := loader.Check(importPath, dir, files)
-	if err != nil {
-		t.Fatalf("fixture %s failed to type-check: %v", dir, err)
+	var pkgs []*analysis.Package
+	var files []string
+	for _, fp := range fixturePkgs {
+		ents, err := os.ReadDir(fp.Dir)
+		if err != nil {
+			t.Fatalf("reading fixture dir %s: %v", fp.Dir, err)
+		}
+		var pkgFiles []string
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".go") {
+				pkgFiles = append(pkgFiles, filepath.Join(fp.Dir, e.Name()))
+			}
+		}
+		if len(pkgFiles) == 0 {
+			t.Fatalf("no fixture files in %s", fp.Dir)
+		}
+		pkg, err := loader.Check(fp.ImportPath, fp.Dir, pkgFiles)
+		if err != nil {
+			t.Fatalf("fixture %s failed to type-check: %v", fp.Dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+		files = append(files, pkgFiles...)
 	}
-	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

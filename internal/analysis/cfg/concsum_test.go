@@ -1,0 +1,113 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+const concSrc = `package p
+
+import (
+	"context"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+func worker(ch chan int) {}
+
+func (s *S) run(ctx context.Context, in chan int) {
+	if ctx.Err() != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rw sync.RWMutex
+	rw.RLock()
+	rw.RUnlock()
+	done := make(chan struct{})
+	buf := make(chan int, 4)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				buf <- v
+			}
+		}
+	}()
+	go worker(buf)
+	s.wg.Wait()
+	close(done)
+	<-done
+	for range in {
+	}
+}
+`
+
+// TestConcSummaryDumpGolden pins the spawn/sync-op summary of a function
+// exercising every recorded op kind. The nested goroutine literal is a
+// boundary: its interior ops (the deferred Done, the ctx.Done select,
+// the send on buf) belong to the literal's own summary, pinned by the
+// second golden below.
+func TestConcSummaryDumpGolden(t *testing.T) {
+	fset, file, info := check(t, concSrc)
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok && f.Name.Name == "run" {
+			fd = f
+		}
+	}
+	sum := cfg.Summarize("(p.S).run", fd.Body, info)
+
+	want := `summary (p.S).run:
+  ctx poll @16
+  mutex Lock (p.S).mu @19
+  mutex Unlock (p.S).mu deferred @20
+  mutex RLock rw @22
+  mutex RUnlock rw @23
+  chan make done unbuffered @24
+  chan make buf buffered @25
+  wg Add (p.S).wg @26
+  spawn literal @27
+  spawn p.worker @38
+  wg Wait (p.S).wg @39
+  chan close done @40
+  chan recv done @41
+  chan range in @42
+`
+	if got := sum.Dump(fset); got != want {
+		t.Errorf("summary dump mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	if len(sum.Spawns) != 2 {
+		t.Fatalf("got %d spawns, want 2", len(sum.Spawns))
+	}
+	lit := sum.Spawns[0]
+	if lit.Body == nil || lit.Callee != "" {
+		t.Fatalf("first spawn should be a literal, got callee %q", lit.Callee)
+	}
+	if named := sum.Spawns[1]; named.Callee != "p.worker" || named.Body != nil {
+		t.Fatalf("second spawn should be the named p.worker, got %q", named.Callee)
+	}
+
+	inner := cfg.Summarize("spawn@27", lit.Body, info)
+	wantInner := `summary spawn@27:
+  wg Done (p.S).wg deferred @28
+  chan recv (context.Context).Done() @31
+  ctx poll @31
+  chan recv in @33
+  chan send buf @34
+`
+	if got := inner.Dump(fset); got != wantInner {
+		t.Errorf("inner summary dump mismatch:\n--- got ---\n%s--- want ---\n%s", got, wantInner)
+	}
+}

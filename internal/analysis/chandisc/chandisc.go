@@ -1,0 +1,334 @@
+// Package chandisc enforces channel ownership discipline module-wide.
+//
+// Three rules, over channel identities unified by cfg.SyncObjKey
+// (fields and package-level variables match across packages, locals by
+// object identity):
+//
+//   - close once: a channel with more than one close site panics on the
+//     second close; a single close site inside a loop panics on the
+//     second iteration. Exactly one owner closes.
+//   - close does not race sends: when a close site and a send site run
+//     in different goroutine contexts (one spawned, one not), the
+//     interleaving `send after close` panics. Exempt when the closing
+//     side joins the senders first: the closing declaration calls Wait
+//     on a WaitGroup that some spawned sender calls Done on — the
+//     drain pattern dmm-serve uses for graceful shutdown.
+//   - hot sends are buffered: a send reachable from a
+//     `//dmmvet:hotpath` root (the same roots hotalloc enforces the
+//     zero-alloc budget on) must land on a channel with a visible
+//     buffered make. An unbuffered or unknown-capacity send blocks the
+//     step loop on a slow consumer — per-step telemetry must shed, not
+//     stall, which is why obs feeds its instruments from buffered
+//     channels.
+//
+// Run it over ./... — with a partial package set, spawn sites and close
+// sites in unloaded packages go unseen.
+package chandisc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "chandisc",
+	Doc: "channels close exactly once and never concurrently with their senders (join via " +
+		"WaitGroup first), and sends on //dmmvet:hotpath-reachable code use buffered channels",
+	RunModule: run,
+}
+
+var hotRe = regexp.MustCompile(`^//dmmvet:hotpath\b`)
+
+// chanRef is one channel op with its location context.
+type chanRef struct {
+	op   cfg.ChanOp
+	pkg  *analysis.Package
+	decl string         // enclosing declaration's FullName
+	unit *ast.BlockStmt // unit body containing the op
+	inGo bool           // unit runs on a spawned goroutine
+}
+
+// wgRef is one WaitGroup op with the same context.
+type wgRef struct {
+	op   cfg.WGOp
+	decl string
+	inGo bool
+}
+
+func run(mp *analysis.ModulePass) error {
+	cg := cfg.BuildCallGraph(mp.Pkgs)
+
+	// Declarations spawned by name anywhere run on goroutines.
+	spawned := make(map[string]bool)
+	forEachUnit(cg, func(node *cfg.CallNode, body *ast.BlockStmt, _ bool) {
+		for _, sp := range cfg.Summarize("", body, node.Pkg.TypesInfo).Spawns {
+			if sp.Callee != "" {
+				spawned[sp.Callee] = true
+			}
+		}
+	})
+
+	var chans []chanRef
+	var wgs []wgRef
+	forEachUnitCtx(cg, spawned, func(node *cfg.CallNode, body *ast.BlockStmt, inGo bool) {
+		sum := cfg.Summarize("", body, node.Pkg.TypesInfo)
+		for _, c := range sum.Chans {
+			chans = append(chans, chanRef{op: c, pkg: node.Pkg, decl: node.FullName, unit: body, inGo: inGo})
+		}
+		for _, w := range sum.WGs {
+			wgs = append(wgs, wgRef{op: w, decl: node.FullName, inGo: inGo})
+		}
+	})
+
+	// Group channel ops by identity, preserving first-seen order.
+	groups := make(map[any][]chanRef)
+	var order []any
+	for _, c := range chans {
+		id := identity(c.op.Key, c.op.Obj)
+		if id == nil {
+			continue
+		}
+		if _, seen := groups[id]; !seen {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], c)
+	}
+
+	// WaitGroup join facts for the race exemption.
+	waitDecls := make(map[any]map[string]bool) // wg identity -> decls that Wait outside goroutines
+	doneInGo := make(map[any]bool)             // wg identity -> some spawned unit calls Done
+	for _, w := range wgs {
+		id := identity(w.op.Key, w.op.Obj)
+		if id == nil {
+			continue
+		}
+		switch w.op.Op {
+		case "Wait":
+			if !w.inGo {
+				if waitDecls[id] == nil {
+					waitDecls[id] = make(map[string]bool)
+				}
+				waitDecls[id][w.decl] = true
+			}
+		case "Done":
+			if w.inGo {
+				doneInGo[id] = true
+			}
+		}
+	}
+	joinedBeforeClose := func(closeDecl string) bool {
+		for id, decls := range waitDecls {
+			if decls[closeDecl] && doneInGo[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Hot-path reachability, labeled by first-reaching root like
+	// hotalloc: roots are declarations with a //dmmvet:hotpath doc line.
+	rootOf := hotReach(cg)
+
+	for _, id := range order {
+		ops := groups[id]
+		var closes, sends []chanRef
+		buffered, unbuffered := false, false
+		for _, c := range ops {
+			switch c.op.Op {
+			case "close":
+				closes = append(closes, c)
+			case "send":
+				sends = append(sends, c)
+			case "make":
+				if c.op.Unbuffered {
+					unbuffered = true
+				} else {
+					buffered = true
+				}
+			}
+		}
+
+		for i, c := range closes {
+			if i > 0 {
+				first := closes[0]
+				mp.Reportf(c.pkg, c.op.Pos,
+					"channel %s is closed at multiple sites (first at %s): exactly one owner must close a channel",
+					c.op.Key, first.pkg.Fset.Position(first.op.Pos))
+			}
+			if closeInLoop(c) {
+				mp.Reportf(c.pkg, c.op.Pos,
+					"close of %s inside a loop: a second iteration closes an already-closed channel (panic)", c.op.Key)
+			}
+		}
+
+		for _, c := range closes {
+			racer := firstConcurrentSend(c, sends)
+			if racer == nil {
+				continue
+			}
+			if !c.inGo && joinedBeforeClose(c.decl) {
+				continue // senders are joined via WaitGroup before the close
+			}
+			mp.Reportf(c.pkg, c.op.Pos,
+				"close(%s) can race with a concurrent send at %s: join the senders (WaitGroup Wait) before closing, or close from the sending side",
+				c.op.Key, racer.pkg.Fset.Position(racer.op.Pos))
+		}
+
+		for _, s := range sends {
+			if s.inGo {
+				continue // a spawned sender is off the step loop's goroutine
+			}
+			root, hot := rootOf[s.decl]
+			if !hot {
+				continue
+			}
+			if buffered && !unbuffered {
+				continue // provably buffered: a slow consumer sheds instead of stalling the step
+			}
+			mp.Reportf(s.pkg, s.op.Pos,
+				"send on %s in a //dmmvet:hotpath region (reachable from %s) is not provably buffered and can block the step loop",
+				s.op.Key, root)
+		}
+	}
+	return nil
+}
+
+// identity returns the module-wide grouping key for a channel or
+// WaitGroup op: the string key for fields and package-level variables,
+// the *types.Var for locals, nil when unresolvable.
+func identity(key string, obj *types.Var) any {
+	if strings.Contains(key, ".") {
+		return key
+	}
+	if obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// firstConcurrentSend returns the first send running in a different
+// goroutine context than the close, or nil.
+func firstConcurrentSend(c chanRef, sends []chanRef) *chanRef {
+	for i := range sends {
+		if sends[i].inGo != c.inGo {
+			return &sends[i]
+		}
+	}
+	return nil
+}
+
+// closeInLoop reports whether c's close site sits inside a for or range
+// statement of its own unit (nested literals are separate units and do
+// not count).
+func closeInLoop(c chanRef) bool {
+	found := false
+	ast.Inspect(c.unit, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= c.op.Pos && c.op.Pos < n.End() {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// forEachUnit visits every declaration body and its nested literal and
+// spawned bodies, in deterministic cg.Names order.
+func forEachUnit(cg *cfg.CallGraph, visit func(node *cfg.CallNode, body *ast.BlockStmt, inGo bool)) {
+	forEachUnitCtx(cg, nil, visit)
+}
+
+// forEachUnitCtx is forEachUnit with goroutine-context tracking: a unit
+// is inGo when it is a spawned literal body, nested inside one, or the
+// body of a declaration listed in spawned.
+func forEachUnitCtx(cg *cfg.CallGraph, spawned map[string]bool, visit func(node *cfg.CallNode, body *ast.BlockStmt, inGo bool)) {
+	for _, name := range cg.Names() {
+		node := cg.Nodes[name]
+		if node.Decl.Body == nil {
+			continue
+		}
+		type frame struct {
+			body *ast.BlockStmt
+			inGo bool
+		}
+		stack := []frame{{node.Decl.Body, spawned[name]}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			visit(node, f.body, f.inGo)
+			sum := cfg.Summarize("", f.body, node.Pkg.TypesInfo)
+			for _, l := range sum.Lits {
+				stack = append(stack, frame{l.Body, f.inGo})
+			}
+			for _, sp := range sum.Spawns {
+				if sp.Body != nil {
+					stack = append(stack, frame{sp.Body, true})
+				}
+			}
+		}
+	}
+}
+
+// hotReach maps every declaration reachable from a //dmmvet:hotpath
+// root to the label of the first root reaching it.
+func hotReach(cg *cfg.CallGraph) map[string]string {
+	rootOf := make(map[string]string)
+	for _, name := range cg.Names() {
+		node := cg.Nodes[name]
+		if node.Decl.Doc == nil {
+			continue
+		}
+		hot := false
+		for _, c := range node.Decl.Doc.List {
+			if hotRe.MatchString(c.Text) {
+				hot = true
+				break
+			}
+		}
+		if !hot {
+			continue
+		}
+		if _, done := rootOf[name]; done {
+			continue
+		}
+		label := funcLabel(node.Fn)
+		rootOf[name] = label
+		queue := []string{name}
+		for len(queue) > 0 {
+			n := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range cg.Nodes[n].Callees {
+				if cg.Nodes[e.Callee] == nil {
+					continue
+				}
+				if _, seen := rootOf[e.Callee]; !seen {
+					rootOf[e.Callee] = label
+					queue = append(queue, e.Callee)
+				}
+			}
+		}
+	}
+	return rootOf
+}
+
+func funcLabel(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

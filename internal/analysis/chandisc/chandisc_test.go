@@ -1,0 +1,12 @@
+package chandisc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/chandisc"
+)
+
+func TestChandisc(t *testing.T) {
+	analysistest.Run(t, chandisc.Analyzer, "testdata/src/chandisctest", "chandisctest")
+}

@@ -1,0 +1,84 @@
+// Fixture for the chandisc analyzer: double closes, close-in-loop,
+// close/send races and unbuffered hot-path sends are flagged; the
+// WaitGroup drain pattern and provably buffered channels are exempt.
+package chandisctest
+
+import "sync"
+
+// DoubleClose closes the same channel twice: the second close panics.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `channel ch is closed at multiple sites`
+}
+
+// CloseInLoop has a single close site, but a second iteration re-closes.
+func CloseInLoop(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		close(ch) // want `close of ch inside a loop`
+	}
+}
+
+// RacyClose closes while a spawned sender may still be sending.
+func RacyClose() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	close(ch) // want `close\(ch\) can race with a concurrent send`
+}
+
+// JoinedClose is exempt: the closer Waits on the WaitGroup the spawned
+// sender Dones — graceful-drain ordering makes send-after-close
+// impossible.
+func JoinedClose() {
+	ch := make(chan int, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	wg.Wait()
+	close(ch)
+}
+
+// Step sends on a parameter channel with no visible buffered make: on
+// the hot path that send can stall the step loop.
+//
+//dmmvet:hotpath
+func Step(out chan float64) {
+	out <- 1.0 // want `send on out in a //dmmvet:hotpath region \(reachable from chandisctest\.Step\) is not provably buffered`
+	stage(out)
+}
+
+// stage is hot by reachability from Step, not by its own annotation.
+func stage(out chan float64) {
+	out <- 2.0 // want `send on out in a //dmmvet:hotpath region \(reachable from chandisctest\.Step\) is not provably buffered`
+}
+
+// StepBuffered is exempt: the channel's make is visible and buffered,
+// so a slow consumer costs a dropped event, not a stalled step.
+//
+//dmmvet:hotpath
+func StepBuffered() {
+	events := make(chan int, 64)
+	events <- 1
+	drain(events)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// ColdSend is off the hot path: the unbuffered send is not chandisc's
+// concern here.
+func ColdSend() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}

@@ -1,0 +1,424 @@
+// Package goroleak proves termination for every goroutine the program
+// can actually start. A `go` statement reachable from an entry point —
+// a cmd's func main, or an exported method on solc.Portfolio, the
+// library surface that dmm-serve drives — must exhibit one of the
+// accepted termination disciplines:
+//
+//   - it polls cancellation: any (context.Context).Done or .Err call in
+//     the spawned body (the Seed+k solver loops poll ctx.Err at the top
+//     of every step batch);
+//   - it drains a channel that some loaded function closes: `for range
+//     ch` or `<-ch` where a close(ch) site exists module-wide;
+//   - it is joined: the body calls wg.Done (usually deferred) and a
+//     Wait on the same WaitGroup identity exists module-wide;
+//   - it provably runs to completion: no loops, and every channel send
+//     lands on a provably buffered channel or is matched by a receive
+//     outside the goroutine, and every receive is matched by a close or
+//     an outside send.
+//
+// Anything else is a potential leak: a goroutine pinned forever on a
+// blocked send or an unconditional loop survives the Portfolio solve
+// that spawned it and accumulates across solves. The analysis is
+// interprocedural (spawned named functions and calls made by the
+// spawned body are followed through the module call graph) and
+// conservative: dynamic spawns (`go f()` through a function value) and
+// spawns of functions outside the loaded packages are reported, because
+// their bodies cannot be inspected. Run it over ./... — with a partial
+// package set, in-module callees look external.
+package goroleak
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every goroutine reachable from a cmd main or solc.Portfolio entry point must have " +
+		"a provable termination path: ctx cancellation, a closed-channel drain, a WaitGroup join, " +
+		"or straight-line completion over buffered/matched channel ops",
+	RunModule: run,
+}
+
+// identSet indexes sync-object identities two ways: precise *types.Var
+// objects (exact within one package's type universe) and module-wide
+// string keys (fields and package-level variables; see cfg.SyncObjKey).
+// Bare local keys are never indexed by string — two unrelated locals
+// named "ch" must not satisfy each other's evidence.
+type identSet struct {
+	objs map[*types.Var]bool
+	keys map[string]bool
+}
+
+func newIdentSet() identSet {
+	return identSet{objs: make(map[*types.Var]bool), keys: make(map[string]bool)}
+}
+
+// moduleKey reports whether key names a module-wide identity (a field
+// "(pkg.T).x" or package-level "pkg.x") rather than a bare local.
+func moduleKey(key string) bool { return strings.Contains(key, ".") }
+
+func (s identSet) add(key string, obj *types.Var) {
+	if obj != nil {
+		s.objs[obj] = true
+	}
+	if moduleKey(key) {
+		s.keys[key] = true
+	}
+}
+
+func (s identSet) has(key string, obj *types.Var) bool {
+	if obj != nil && s.objs[obj] {
+		return true
+	}
+	return moduleKey(key) && s.keys[key]
+}
+
+// opRef is one channel op with the unit (function or literal body) that
+// contains it, so a goroutine's own receives cannot satisfy its sends.
+type opRef struct {
+	key  string
+	obj  *types.Var
+	unit *ast.BlockStmt
+}
+
+// evidence is the module-wide termination-evidence index.
+type evidence struct {
+	closes    identSet // channels some loaded unit closes
+	waits     identSet // WaitGroups some loaded unit calls Wait on
+	madeBuf   identSet // channels made with a non-zero capacity
+	madeUnbuf identSet // channels made unbuffered (or capacity 0)
+	recvs     []opRef  // every receive/range site
+	sends     []opRef  // every send site
+}
+
+func run(mp *analysis.ModulePass) error {
+	cg := cfg.BuildCallGraph(mp.Pkgs)
+
+	// Entry points: func main in a main package, and exported methods on
+	// solc.Portfolio (what dmm-serve calls into).
+	rootOf := make(map[string]string) // fn full name -> label of first entry point reaching it
+	for _, name := range cg.Names() {
+		node := cg.Nodes[name]
+		if !isEntryPoint(node) {
+			continue
+		}
+		label := funcLabel(node.Fn)
+		// First-reaching entry point wins: cg.Names is sorted and edges
+		// are sorted, so labels never flap across runs.
+		if _, done := rootOf[name]; done {
+			continue
+		}
+		rootOf[name] = label
+		queue := []string{name}
+		for len(queue) > 0 {
+			n := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, e := range cg.Nodes[n].Callees {
+				if cg.Nodes[e.Callee] == nil {
+					continue
+				}
+				if _, seen := rootOf[e.Callee]; !seen {
+					rootOf[e.Callee] = label
+					queue = append(queue, e.Callee)
+				}
+			}
+		}
+	}
+
+	ev := collectEvidence(cg)
+
+	for _, name := range cg.Names() {
+		root, reached := rootOf[name]
+		if !reached {
+			continue
+		}
+		node := cg.Nodes[name]
+		if node.Decl.Body == nil {
+			continue
+		}
+		checkSpawns(mp, cg, ev, node, root)
+	}
+	return nil
+}
+
+// isEntryPoint reports whether node is a program entry the analysis
+// roots at.
+func isEntryPoint(node *cfg.CallNode) bool {
+	if node.Decl.Recv == nil {
+		return node.Fn.Name() == "main" && node.Pkg.Types.Name() == "main"
+	}
+	if !ast.IsExported(node.Fn.Name()) {
+		return false
+	}
+	return recvTypeName(node.Fn) == "Portfolio" && strings.HasSuffix(node.Pkg.ImportPath, "internal/solc")
+}
+
+// collectEvidence indexes every loaded unit — declaration bodies plus
+// nested literals and spawned bodies — for close/Wait/make/send/recv
+// sites. Iteration follows cg.Names order, so the index (and through
+// it, every report) is deterministic.
+func collectEvidence(cg *cfg.CallGraph) *evidence {
+	ev := &evidence{
+		closes:    newIdentSet(),
+		waits:     newIdentSet(),
+		madeBuf:   newIdentSet(),
+		madeUnbuf: newIdentSet(),
+	}
+	for _, name := range cg.Names() {
+		node := cg.Nodes[name]
+		if node.Decl.Body == nil {
+			continue
+		}
+		for _, u := range unitBodies(node.Decl.Body, node.Pkg.TypesInfo) {
+			sum := cfg.Summarize(name, u, node.Pkg.TypesInfo)
+			for _, c := range sum.Chans {
+				switch c.Op {
+				case "close":
+					ev.closes.add(c.Key, c.Obj)
+				case "make":
+					if c.Unbuffered {
+						ev.madeUnbuf.add(c.Key, c.Obj)
+					} else {
+						ev.madeBuf.add(c.Key, c.Obj)
+					}
+				case "recv", "range":
+					ev.recvs = append(ev.recvs, opRef{c.Key, c.Obj, u})
+				case "send":
+					ev.sends = append(ev.sends, opRef{c.Key, c.Obj, u})
+				}
+			}
+			for _, w := range sum.WGs {
+				if w.Op == "Wait" {
+					ev.waits.add(w.Key, w.Obj)
+				}
+			}
+		}
+	}
+	return ev
+}
+
+// unitBodies returns body plus every nested unit inside it: function
+// literals and spawned-literal bodies, recursively.
+func unitBodies(body *ast.BlockStmt, info *types.Info) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	for i := 0; i < len(out); i++ {
+		sum := cfg.Summarize("", out[i], info)
+		for _, l := range sum.Lits {
+			out = append(out, l.Body)
+		}
+		for _, sp := range sum.Spawns {
+			if sp.Body != nil {
+				out = append(out, sp.Body)
+			}
+		}
+	}
+	return out
+}
+
+// checkSpawns evaluates every go statement in node's declaration,
+// including spawns nested in literals and in already-spawned bodies.
+func checkSpawns(mp *analysis.ModulePass, cg *cfg.CallGraph, ev *evidence, node *cfg.CallNode, root string) {
+	info := node.Pkg.TypesInfo
+	units := []*ast.BlockStmt{node.Decl.Body}
+	for i := 0; i < len(units); i++ {
+		sum := cfg.Summarize(node.FullName, units[i], info)
+		for _, l := range sum.Lits {
+			units = append(units, l.Body)
+		}
+		for _, sp := range sum.Spawns {
+			if sp.Body != nil {
+				units = append(units, sp.Body)
+			}
+			checkSpawn(mp, cg, ev, node, sp, root)
+		}
+	}
+}
+
+// checkSpawn decides one go statement.
+func checkSpawn(mp *analysis.ModulePass, cg *cfg.CallGraph, ev *evidence, node *cfg.CallNode, sp cfg.SpawnSite, root string) {
+	var bodies []*ast.BlockStmt
+	var infos []*types.Info
+	switch {
+	case sp.Body != nil:
+		gatherBodies(cg, node.Pkg.TypesInfo, sp.Body, &bodies, &infos, make(map[string]bool))
+	case sp.Callee != "":
+		callee := cg.Nodes[sp.Callee]
+		if callee == nil || callee.Decl.Body == nil {
+			mp.Reportf(node.Pkg, sp.Pos,
+				"goroutine (reachable from %s) spawns %s, whose body is outside the loaded packages: termination cannot be proven", root, sp.Callee)
+			return
+		}
+		gatherBodies(cg, callee.Pkg.TypesInfo, callee.Decl.Body, &bodies, &infos, map[string]bool{sp.Callee: true})
+	default:
+		mp.Reportf(node.Pkg, sp.Pos,
+			"goroutine (reachable from %s) spawns a dynamic function value: termination cannot be proven", root)
+		return
+	}
+
+	own := make(map[*ast.BlockStmt]bool, len(bodies))
+	for _, b := range bodies {
+		own[b] = true
+	}
+
+	hasLoop := false
+	var sends, recvs []cfg.ChanOp
+	for i, b := range bodies {
+		sum := cfg.Summarize("", b, infos[i])
+		if len(sum.CtxPolls) > 0 {
+			return // observes cancellation
+		}
+		for _, w := range sum.WGs {
+			if w.Op == "Done" && ev.waits.has(w.Key, w.Obj) {
+				return // joined by a module-visible Wait
+			}
+		}
+		for _, c := range sum.Chans {
+			switch c.Op {
+			case "range", "recv":
+				if ev.closes.has(c.Key, c.Obj) {
+					return // drains a channel someone closes
+				}
+				recvs = append(recvs, c)
+			case "send":
+				sends = append(sends, c)
+			}
+		}
+		if bodyHasLoop(b) {
+			hasLoop = true
+		}
+	}
+
+	if !hasLoop {
+		blocked := ""
+		for _, s := range sends {
+			if ev.madeBuf.has(s.Key, s.Obj) && !ev.madeUnbuf.has(s.Key, s.Obj) {
+				continue // provably buffered: the send cannot pin the goroutine
+			}
+			if matchedOutside(ev.recvs, s, own) {
+				continue // a receive outside this goroutine drains it
+			}
+			blocked = fmt.Sprintf("send on %s may block forever (channel not provably buffered, no receive outside the goroutine)", s.Key)
+			break
+		}
+		if blocked == "" {
+			for _, r := range recvs {
+				if matchedOutside(ev.sends, r, own) {
+					continue // a send outside this goroutine feeds it
+				}
+				blocked = fmt.Sprintf("receive on %s may block forever (no close or send outside the goroutine)", r.Key)
+				break
+			}
+		}
+		if blocked == "" {
+			return // straight-line body, every channel op matched
+		}
+		mp.Reportf(node.Pkg, sp.Pos, "goroutine (reachable from %s) has no provable termination path: %s", root, blocked)
+		return
+	}
+	mp.Reportf(node.Pkg, sp.Pos,
+		"goroutine (reachable from %s) loops with no provable termination path: poll ctx.Done()/ctx.Err(), range over a channel that is closed, or join it with a WaitGroup whose Wait is reachable", root)
+}
+
+// gatherBodies collects the spawned body plus the bodies of nested
+// (non-spawned) literals and of in-module functions it statically calls.
+// Nested go statements are boundaries: they are separate goroutines,
+// evaluated by their own checkSpawn pass.
+func gatherBodies(cg *cfg.CallGraph, info *types.Info, body *ast.BlockStmt, bodies *[]*ast.BlockStmt, infos *[]*types.Info, visited map[string]bool) {
+	*bodies = append(*bodies, body)
+	*infos = append(*infos, info)
+	sum := cfg.Summarize("", body, info)
+	for _, l := range sum.Lits {
+		gatherBodies(cg, info, l.Body, bodies, infos, visited)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isGo := n.(*ast.GoStmt); isGo {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := cfg.CalleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		name := fn.FullName()
+		callee := cg.Nodes[name]
+		if callee == nil || callee.Decl.Body == nil || visited[name] {
+			return true
+		}
+		visited[name] = true
+		gatherBodies(cg, callee.Pkg.TypesInfo, callee.Decl.Body, bodies, infos, visited)
+		return true
+	})
+}
+
+// bodyHasLoop reports whether body contains a for statement or a range
+// over a channel, not descending into nested literals or go statements
+// (those are separate units/goroutines). Ranges over finite collections
+// terminate and do not count.
+func bodyHasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// matchedOutside reports whether op (a send or receive from the
+// goroutine, whose units are own) has a counterpart op located outside
+// the goroutine — a receive draining its sends, a send feeding its
+// receives.
+func matchedOutside(counterparts []opRef, op cfg.ChanOp, own map[*ast.BlockStmt]bool) bool {
+	for _, c := range counterparts {
+		if own[c.unit] {
+			continue
+		}
+		if op.Obj != nil && c.obj == op.Obj {
+			return true
+		}
+		if moduleKey(op.Key) && c.key == op.Key {
+			return true
+		}
+	}
+	return false
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func funcLabel(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,23 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "testdata/src/goroleaktest", "goroleaktest")
+}
+
+// TestGoroleakMultiPackage spawns goroutines whose bodies live in a
+// different fixture package than the go statements: the dependency
+// fixture is checked first so the spawner resolves it through the
+// loader registry.
+func TestGoroleakMultiPackage(t *testing.T) {
+	analysistest.RunPkgs(t, goroleak.Analyzer, []analysistest.Pkg{
+		{Dir: "testdata/src/multi/b", ImportPath: "goroleakmulti/b"},
+		{Dir: "testdata/src/multi/a", ImportPath: "goroleakmulti/a"},
+	})
+}

@@ -1,0 +1,139 @@
+// Fixture for the goroleak analyzer: leaky spawns are flagged, each
+// accepted termination discipline is exempt, and spawns in functions
+// unreachable from an entry point are ignored.
+package main
+
+import (
+	"context"
+	"sync"
+)
+
+func main() {
+	ctx := context.Background()
+	spinner()
+	ctxWorker(ctx)
+	drainer()
+	joined()
+	fireAndForget()
+	handoff()
+	syncHandoff()
+	blockedSend()
+	blockedRecv()
+	dynamic(func() {})
+	named()
+}
+
+// spinner leaks: an unconditional loop with no cancellation signal.
+func spinner() {
+	go func() { // want `goroutine \(reachable from main\.main\) loops with no provable termination path`
+		for {
+		}
+	}()
+}
+
+// ctxWorker is exempt: the body polls ctx.Done.
+func ctxWorker(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// drainer is exempt: the goroutine ranges over a channel this function
+// closes.
+func drainer() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	close(ch)
+}
+
+// joined is exempt: the goroutine calls wg.Done and a Wait on the same
+// WaitGroup is visible.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+		}
+	}()
+	wg.Wait()
+}
+
+// fireAndForget is exempt: straight-line body, no channel ops.
+func fireAndForget() {
+	go func() {
+		_ = compute()
+	}()
+}
+
+// handoff is exempt: the only send lands on a provably buffered channel.
+func handoff() {
+	res := make(chan int, 1)
+	go func() {
+		res <- compute()
+	}()
+	_ = <-res
+}
+
+// syncHandoff is exempt: the send is unbuffered but the spawner
+// receives it.
+func syncHandoff() {
+	res := make(chan int)
+	go func() {
+		res <- compute()
+	}()
+	<-res
+}
+
+// blockedSend leaks: nobody ever receives from ch.
+func blockedSend() chan int {
+	ch := make(chan int)
+	go func() { // want `goroutine \(reachable from main\.main\) has no provable termination path: send on ch may block forever`
+		ch <- compute()
+	}()
+	return ch
+}
+
+// blockedRecv leaks: nobody sends on or closes ch.
+func blockedRecv() {
+	ch := make(chan int)
+	go func() { // want `goroutine \(reachable from main\.main\) has no provable termination path: receive on ch may block forever`
+		<-ch
+	}()
+}
+
+// dynamic is reported: a spawn through a function value cannot be
+// inspected.
+func dynamic(f func()) {
+	go f() // want `goroutine \(reachable from main\.main\) spawns a dynamic function value`
+}
+
+// named spawns a declared function whose body loops without an exit.
+func named() {
+	go spin() // want `goroutine \(reachable from main\.main\) loops with no provable termination path`
+}
+
+func spin() {
+	for {
+	}
+}
+
+func compute() int { return 42 }
+
+// unreached is never called from main: its leaky spawn is outside the
+// entry-point-reachable set and must not be reported.
+func unreached() {
+	go func() {
+		for {
+		}
+	}()
+}

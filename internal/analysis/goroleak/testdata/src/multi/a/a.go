@@ -1,0 +1,17 @@
+// The spawning half of the multi-package goroleak fixture: goroutine
+// bodies are declared in package b, so the analyzer must follow the
+// spawn edge across the package boundary to judge them.
+package main
+
+import (
+	"context"
+
+	"goroleakmulti/b"
+)
+
+func main() {
+	ch := make(chan int)
+	go b.Pump(ch) // want `goroutine \(reachable from main\.main\) loops with no provable termination path`
+	go b.Tick(context.Background())
+	_ = ch
+}

@@ -1,0 +1,22 @@
+// Package b holds the goroutine bodies for the multi-package goroleak
+// fixture: the spawn sites live in package a.
+package b
+
+import "context"
+
+// Pump loops forever sending on ch; with no cancellation signal it can
+// only stop if every send is matched, which the analyzer cannot prove.
+func Pump(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// Tick polls ctx.Err every iteration: accepted cancellation discipline.
+func Tick(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}

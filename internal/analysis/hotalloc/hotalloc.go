@@ -68,52 +68,36 @@ var coldRe = regexp.MustCompile(`^//dmmvet:coldpath\s*(.*)$`)
 
 var hotRe = regexp.MustCompile(`^//dmmvet:hotpath\b`)
 
-// fnInfo is one function declaration with its defining package.
-type fnInfo struct {
-	pkg  *analysis.Package
-	decl *ast.FuncDecl
-}
-
 func run(mp *analysis.ModulePass) error {
-	// Index every function declaration and collect annotations. The index
-	// is keyed by types.Func.FullName, not object identity: each package
-	// is type-checked in its own universe, so the *types.Func a caller
-	// sees through an import is a different object than the one at the
-	// callee's definition — but the full name is stable across both.
-	index := make(map[string]fnInfo)
+	// The FullName-keyed declaration index is the shared cfg.CallGraph
+	// (it started life here and was promoted for the concurrency
+	// analyzers). hotalloc keeps its own call-site walk below — it needs
+	// to report dynamic, interface, and external calls at their exact
+	// positions, which the graph's deduped edges deliberately discard —
+	// but declaration lookup goes through the graph.
+	cg := cfg.BuildCallGraph(mp.Pkgs)
 	cold := make(map[string]bool)
 	var roots []*types.Func
-	for _, pkg := range mp.Pkgs {
-		for _, file := range pkg.Syntax {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Name == nil {
+	for _, name := range cg.Names() {
+		node := cg.Node(name)
+		fd := node.Decl
+		if fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if hotRe.MatchString(c.Text) {
+				roots = append(roots, node.Fn)
+			}
+			if m := coldRe.FindStringSubmatch(c.Text); m != nil {
+				just := strings.TrimSpace(m[1])
+				just = strings.TrimSpace(strings.TrimLeft(just, "—–- \t"))
+				if just == "" {
+					mp.Reportf(node.Pkg, fd.Name.Pos(),
+						"//dmmvet:coldpath on %s has no justification; write `//dmmvet:coldpath — <why this stays off the per-step path>`",
+						fd.Name.Name)
 					continue
 				}
-				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				index[obj.FullName()] = fnInfo{pkg, fd}
-				if fd.Doc == nil {
-					continue
-				}
-				for _, c := range fd.Doc.List {
-					if hotRe.MatchString(c.Text) {
-						roots = append(roots, obj)
-					}
-					if m := coldRe.FindStringSubmatch(c.Text); m != nil {
-						just := strings.TrimSpace(m[1])
-						just = strings.TrimSpace(strings.TrimLeft(just, "—–- \t"))
-						if just == "" {
-							mp.Reportf(pkg, fd.Name.Pos(),
-								"//dmmvet:coldpath on %s has no justification; write `//dmmvet:coldpath — <why this stays off the per-step path>`",
-								fd.Name.Name)
-							continue
-						}
-						cold[obj.FullName()] = true
-					}
-				}
+				cold[name] = true
 			}
 		}
 	}
@@ -121,14 +105,14 @@ func run(mp *analysis.ModulePass) error {
 	// Deterministic traversal order: roots sorted by package, then
 	// source position, so "reachable from X" labels never flap.
 	sort.Slice(roots, func(i, j int) bool {
-		a, b := index[roots[i].FullName()], index[roots[j].FullName()]
-		if a.pkg.ImportPath != b.pkg.ImportPath {
-			return a.pkg.ImportPath < b.pkg.ImportPath
+		a, b := cg.Node(roots[i].FullName()), cg.Node(roots[j].FullName())
+		if a.Pkg.ImportPath != b.Pkg.ImportPath {
+			return a.Pkg.ImportPath < b.Pkg.ImportPath
 		}
-		return a.decl.Pos() < b.decl.Pos()
+		return a.Decl.Pos() < b.Decl.Pos()
 	})
 
-	w := &walker{mp: mp, index: index, cold: cold, visited: make(map[string]bool)}
+	w := &walker{mp: mp, cg: cg, cold: cold, visited: make(map[string]bool)}
 	for _, root := range roots {
 		w.visit(root, funcLabel(root))
 	}
@@ -137,7 +121,7 @@ func run(mp *analysis.ModulePass) error {
 
 type walker struct {
 	mp      *analysis.ModulePass
-	index   map[string]fnInfo
+	cg      *cfg.CallGraph
 	cold    map[string]bool
 	visited map[string]bool
 }
@@ -149,14 +133,14 @@ func (w *walker) visit(fn *types.Func, root string) {
 		return
 	}
 	w.visited[fn.FullName()] = true
-	info, ok := w.index[fn.FullName()]
-	if !ok || info.decl.Body == nil {
+	node := w.cg.Node(fn.FullName())
+	if node == nil || node.Decl.Body == nil {
 		return
 	}
-	pkg := info.pkg
+	pkg := node.Pkg
 	sig, _ := fn.Type().(*types.Signature)
 
-	g := cfg.New(fn.Name(), info.decl.Body, pkg.TypesInfo)
+	g := cfg.New(fn.Name(), node.Decl.Body, pkg.TypesInfo)
 	coldBlocks := g.ColdBlocks(pkg.TypesInfo, sig)
 	reachable := reachableBlocks(g)
 
@@ -220,7 +204,7 @@ func (w *walker) call(pkg *analysis.Package, call *ast.CallExpr, root string) {
 		if w.cold[obj.FullName()] {
 			return // justified //dmmvet:coldpath boundary
 		}
-		if _, have := w.index[obj.FullName()]; have {
+		if w.cg.Node(obj.FullName()) != nil {
 			w.visit(obj, root)
 			return
 		}

@@ -29,18 +29,49 @@ type Package struct {
 // Loader share a FileSet and a source importer, so every dependency —
 // including the standard library, which this offline build type-checks
 // from GOROOT source — is checked at most once.
+//
+// Packages checked explicitly through Check additionally register in an
+// import-path registry that the type-checker consults before the source
+// importer. That lets fixture packages — which live under testdata and
+// are invisible to the source importer — import each other, so
+// interprocedural analyzers are testable with a caller in package A and
+// a spawned goroutine in package B. Packages resolved through Load do
+// NOT register: the repository's own packages must keep resolving
+// through the shared source-importer cache, or two universes of the same
+// import path would meet in one type-check.
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.ImporterFrom
+
+	// checked maps import path -> type-checked fixture package,
+	// populated by Check and consulted by ImportFrom.
+	checked map[string]*types.Package
 }
 
 // NewLoader returns a Loader backed by the stdlib source importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{
-		Fset: fset,
-		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	l := &Loader{
+		Fset:    fset,
+		checked: make(map[string]*types.Package),
 	}
+	l.imp = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: explicitly-checked packages
+// resolve from the registry first, everything else through the shared
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg := l.checked[path]; pkg != nil {
+		return pkg, nil
+	}
+	return l.imp.ImportFrom(path, dir, mode)
 }
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -78,7 +109,7 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 		for i, f := range lp.GoFiles {
 			files[i] = filepath.Join(lp.Dir, f)
 		}
-		pkg, err := l.Check(lp.ImportPath, lp.Dir, files)
+		pkg, err := l.check(lp.ImportPath, lp.Dir, files, false)
 		if err != nil {
 			return nil, err
 		}
@@ -88,8 +119,14 @@ func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
 }
 
 // Check parses and type-checks one package from an explicit file list
-// under the given import path (used directly by analysistest fixtures).
+// under the given import path (used directly by analysistest fixtures)
+// and registers it for import by later Check calls — check dependency
+// fixtures before their importers.
 func (l *Loader) Check(importPath, dir string, files []string) (*Package, error) {
+	return l.check(importPath, dir, files, true)
+}
+
+func (l *Loader) check(importPath, dir string, files []string, register bool) (*Package, error) {
 	var syntax []*ast.File
 	for _, name := range files {
 		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -104,10 +141,13 @@ func (l *Loader) Check(importPath, dir string, files []string) (*Package, error)
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(importPath, l.Fset, syntax, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	if register {
+		l.checked[importPath] = tpkg
 	}
 	return &Package{
 		ImportPath: importPath,

@@ -5,10 +5,13 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomicstate"
+	"repro/internal/analysis/chandisc"
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/detflow"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/nakedgoroutine"
 	"repro/internal/analysis/seeddet"
 	"repro/internal/analysis/stateclone"
@@ -19,9 +22,9 @@ import (
 // its own analyzers, with every waiver justified. This is the tier-1
 // regression gate for the analyzers themselves: a change that makes
 // hotalloc or detflow misfire on real code fails here, not in CI after
-// merge. It is also the only place cross-package hotalloc traversal
-// (Step → obs/la) is exercised, since fixture packages cannot import
-// each other under the offline source importer.
+// merge. It is also the main place cross-package call-graph traversal
+// (hotalloc's Step → obs/la walk, goroleak's entry-point reachability
+// into internal/par) is exercised over real module-sized input.
 func TestSelfVet(t *testing.T) {
 	if testing.Short() {
 		t.Skip("self-vet type-checks the whole module; skipped in -short")
@@ -33,10 +36,13 @@ func TestSelfVet(t *testing.T) {
 	}
 	analyzers := []*analysis.Analyzer{
 		atomicstate.Analyzer,
+		chandisc.Analyzer,
 		ctxfirst.Analyzer,
 		detflow.Analyzer,
 		floateq.Analyzer,
+		goroleak.Analyzer,
 		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		nakedgoroutine.Analyzer,
 		seeddet.Analyzer,
 		stateclone.Analyzer,

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/floateq"
+)
+
+// TestStatsByteIdentical mirrors TestFindingsByteIdentical for the
+// -stats surface: under a deterministic clock, two RunWithStats calls
+// over the same packages presented in opposite orders must render a
+// byte-identical {"findings": …, "stats": …} payload. The fixed-step
+// clock only produces stable wall times because RunWithStats makes
+// exactly two now() calls per analyzer plus two for the suppression
+// scan — a change that adds a stray timestamp breaks this test, which
+// is the point.
+func TestStatsByteIdentical(t *testing.T) {
+	loader := analysis.NewLoader()
+	ord, err := loader.Check("repro/internal/fixture/ordertest", "testdata/src/ordertest",
+		[]string{"testdata/src/ordertest/a.go", "testdata/src/ordertest/b.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alw, err := loader.Check("repro/internal/fixture/allowtest", "testdata/src/allowtest",
+		[]string{"testdata/src/allowtest/a.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(pkgs []*analysis.Package) string {
+		tick := time.Unix(0, 0)
+		clock := func() time.Time {
+			tick = tick.Add(3 * time.Millisecond)
+			return tick
+		}
+		findings, stats, err := analysis.RunWithStats(pkgs, []*analysis.Analyzer{floateq.Analyzer}, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(findings) == 0 {
+			t.Fatal("fixture produced no findings; the stability test needs a non-trivial set")
+		}
+		if len(stats) != 2 { // floateq + the "allow" suppression-scan row
+			t.Fatalf("got %d stat rows, want 2: %+v", len(stats), stats)
+		}
+		total := 0
+		for _, s := range stats {
+			if s.WallMS != 3 {
+				t.Errorf("analyzer %s wall %v ms; the 3ms/call clock must yield exactly 3", s.Analyzer, s.WallMS)
+			}
+			total += s.Findings
+		}
+		if total != len(findings) {
+			t.Errorf("stat rows count %d findings, run returned %d", total, len(findings))
+		}
+		var js bytes.Buffer
+		if err := analysis.WriteJSONStats(&js, findings, stats); err != nil {
+			t.Fatal(err)
+		}
+		return js.String()
+	}
+
+	json1 := render([]*analysis.Package{ord, alw})
+	json2 := render([]*analysis.Package{alw, ord})
+	if json1 != json2 {
+		t.Errorf("stats JSON differs across package orderings:\n--- run 1 ---\n%s--- run 2 ---\n%s", json1, json2)
+	}
+	if !strings.Contains(json1, `"stats"`) || !strings.Contains(json1, `"wall_ms"`) {
+		t.Errorf("stats payload missing expected keys:\n%s", json1)
+	}
+}

@@ -30,6 +30,9 @@ func ForEach(ctx context.Context, n, parallelism int, fn func(ctx context.Contex
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if ctx.Err() != nil {
+		return // already cancelled: don't spawn workers that would only observe it
+	}
 	p := Limit(parallelism)
 	if p > n {
 		p = n

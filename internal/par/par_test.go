@@ -65,6 +65,34 @@ func TestForEachZeroItems(t *testing.T) {
 	})
 }
 
+// TestForEachCancelMidFlightRace cancels from outside the pool while
+// many workers are claiming indices — a regression net for the race
+// detector (CI runs this package with -race): the claim counter, the
+// cancellation flag and the hits array are all contended here.
+func TestForEachCancelMidFlightRace(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var hits [512]int32
+	var ran int32
+	go func() {
+		for atomic.LoadInt32(&ran) < 32 {
+			runtime.Gosched()
+		}
+		cancel()
+	}()
+	ForEach(ctx, len(hits), 8, func(_ context.Context, i int) {
+		atomic.AddInt32(&ran, 1)
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h > 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	if atomic.LoadInt32(&ran) < 32 {
+		t.Fatalf("cancelled before the trigger count: ran %d", ran)
+	}
+}
+
 func TestLimit(t *testing.T) {
 	if got := Limit(3); got != 3 {
 		t.Fatalf("Limit(3) = %d", got)

@@ -2,6 +2,7 @@ package solc
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -143,6 +144,46 @@ func TestParallelRaceStress(t *testing.T) {
 	}
 	if res.Steps == 0 || res.FEvals == 0 {
 		t.Fatalf("aggregate counters empty: steps=%d fevals=%d", res.Steps, res.FEvals)
+	}
+}
+
+// TestConcurrentSolvesRace shares one compiled portfolio between two
+// goroutines calling Solve at once — the dmm-serve shape, where request
+// handlers reuse the compiled circuit and each attempt clones its engine.
+// Under `go test -race` this guards the read-only compile state against
+// mutation by a concurrent solve, and since the portfolio is handicapped
+// both callers must land on the same deterministic winner.
+func TestConcurrentSolvesRace(t *testing.T) {
+	bc, pins, _ := xorProblem(true)
+	pf := CompilePortfolio(bc, pins, circuit.Default(), handicappedPortfolio())
+	opts := DefaultOptions()
+	opts.TEnd = 5
+	opts.MaxAttempts = 4
+	opts.Parallelism = 2
+	var wg sync.WaitGroup
+	results := make([]Result, 2)
+	errs := make([]error, 2)
+	for k := range results {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k], errs[k] = pf.Solve(opts)
+		}(k)
+	}
+	wg.Wait()
+	for k := range results {
+		if errs[k] != nil {
+			t.Fatal(errs[k])
+		}
+		if !results[k].Solved {
+			t.Fatalf("caller %d not solved: %s", k, results[k].Reason)
+		}
+	}
+	if results[0].WinnerAttempt != results[1].WinnerAttempt ||
+		results[0].WinnerSeed != results[1].WinnerSeed {
+		t.Fatalf("concurrent solves diverged: attempt %d/%d seed %d/%d",
+			results[0].WinnerAttempt, results[1].WinnerAttempt,
+			results[0].WinnerSeed, results[1].WinnerSeed)
 	}
 }
 
