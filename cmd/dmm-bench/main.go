@@ -15,7 +15,13 @@
 // with stale-factor refinement against the refactor-on-drift baseline,
 // checks trajectory and assignment equivalence, gates on
 // refactors/steps ≤ 5% and 0 allocs/step (nonzero exit otherwise), and
-// with -json writes BENCH_imex_ladder.json.
+// with -json writes BENCH_imex_ladder.json. The imex-batch experiment
+// (batch.go) measures the lockstep SoA ensemble engine — K members
+// integrated on one shared interleaved state with multi-RHS sparse
+// solves — against K independent scalar clones, gates on the aggregate
+// member-steps/sec speedup, 0 allocs/step, one blocked refactor per
+// step-size rung change per batch, and batched-vs-unbatched assignment
+// equivalence, and with -json writes BENCH_imex_batch.json.
 package main
 
 import (
@@ -43,7 +49,7 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c, imex-sparse, imex-ladder)")
+	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c, imex-sparse, imex-ladder, imex-batch)")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon for dynamical experiments")
 	attempts := flag.Int("attempts", 4, "random restarts per instance")
 	seeds := flag.Int("seeds", 4, "ensemble size for scaling/ensemble experiments")
@@ -53,7 +59,8 @@ func realMain() int {
 	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
 	hladder := flag.Float64("hladder", 0, "step-size ladder ratio: quantize h onto the geometric grid ratio^k and reuse cached shifted factors (0 = off; 1.1892 = 2^(1/4) recommended)")
 	factorCache := flag.Int("factor-cache", 0, "IMEX shifted-factor cache capacity in step-size rungs (0 = default 4)")
-	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse, imex-ladder)")
+	batch := flag.Int("batch", 0, "lockstep ensemble batch width: integrate restart attempts in shared-state batches of this many members (0/1 = unbatched; requires the imex stepper, sparse path)")
+	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse, imex-ladder, imex-batch)")
 	co := obs.BindFlags("dmm-bench", flag.CommandLine)
 	flag.Parse()
 
@@ -75,6 +82,7 @@ func realMain() int {
 	cfg.Dense = *dense
 	cfg.HLadder = *hladder
 	cfg.FactorCache = *factorCache
+	cfg.BatchSize = *batch
 	cfg.Telemetry = co.Telemetry
 
 	var bits []int
@@ -157,6 +165,13 @@ func realMain() int {
 		}
 		if id == "imex-ladder" {
 			if err := imexLadder(*jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+				return true, false
+			}
+			return true, true
+		}
+		if id == "imex-batch" {
+			if err := imexBatch(*jsonOut); err != nil {
 				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
 				return true, false
 			}

@@ -40,6 +40,7 @@ func run() int {
 	dense := flag.Bool("dense", false, "use the dense-LU voltage solve instead of the sparse symbolic-once default (A/B comparison)")
 	hladder := flag.Float64("hladder", 0, "step-size ladder ratio: quantize h onto the geometric grid ratio^k and reuse cached shifted factors (0 = off; 1.1892 = 2^(1/4) recommended)")
 	factorCache := flag.Int("factor-cache", 0, "IMEX shifted-factor cache capacity in step-size rungs (0 = default 4)")
+	batch := flag.Int("batch", 0, "lockstep ensemble batch width: integrate restart attempts in shared-state batches of this many members (0/1 = unbatched; requires the imex stepper, sparse path)")
 	co := obs.BindFlags("dmm-factor", flag.CommandLine)
 	flag.Parse()
 
@@ -64,6 +65,7 @@ func run() int {
 	cfg.Dense = *dense
 	cfg.HLadder = *hladder
 	cfg.FactorCache = *factorCache
+	cfg.BatchSize = *batch
 	cfg.Telemetry = co.Telemetry
 	if *portfolio {
 		cfg.Portfolio = solc.DefaultPortfolio()

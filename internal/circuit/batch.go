@@ -1,0 +1,199 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/la"
+	"repro/internal/memristor"
+)
+
+// BatchEngine views K same-topology ensemble members as one
+// member-interleaved structure-of-arrays state: scalar state element j of
+// member m lives at X[j*K + m], so every lockstep sweep (conductance
+// fill, stamp assembly, the multi-RHS solve) loads each symbolic index
+// once and applies it to K contiguous lanes. The layout choice is
+// benchmarked in la.BenchmarkBatchLayout and documented in DESIGN.md
+// "Batched lockstep ensembles".
+//
+// The engine itself is thin: it owns the lane addressing and the scalar
+// extraction helpers (convergence, verification, decode all reuse the
+// scalar *Circuit predicates on an extracted lane), while the lockstep
+// integration lives in BatchIMEXStepper. Members are independent — no
+// state element couples lanes — so per-lane results are bit-identical to
+// scalar runs of the same members, which the equivalence suites assert.
+type BatchEngine struct {
+	c    *Circuit // private clone: extraction helpers use its scratch
+	k    int
+	lane la.Vector // [dim] scalar extraction scratch
+}
+
+// NewBatchEngine returns a K-wide batch view over c's compiled topology.
+// The engine clones c, so the caller's circuit scratch stays private.
+func NewBatchEngine(c *Circuit, k int) *BatchEngine {
+	if k < 1 {
+		panic("circuit: NewBatchEngine requires k >= 1")
+	}
+	return &BatchEngine{
+		c:    c.Clone().(*Circuit),
+		k:    k,
+		lane: la.NewVector(c.Dim()),
+	}
+}
+
+// K returns the batch width.
+func (be *BatchEngine) K() int { return be.k }
+
+// Dim returns the per-member ODE state dimension.
+func (be *BatchEngine) Dim() int { return be.c.Dim() }
+
+// Circuit returns the engine's private circuit clone (shared compiled
+// topology). Use it for decode and observability, not for mutation.
+func (be *BatchEngine) Circuit() *Circuit { return be.c }
+
+// NewState allocates a zero batch state ([dim*K], member-interleaved).
+func (be *BatchEngine) NewState() []float64 {
+	return make([]float64, be.c.Dim()*be.k)
+}
+
+// InitMember draws member m's initial state into its lane of X using
+// exactly the scalar InitialState draw sequence (voltages, then memristor
+// states, then bistables at 1), so a batch member seeded with
+// rand.NewSource(seed) starts bit-identical to a scalar attempt with the
+// same seed.
+func (be *BatchEngine) InitMember(X []float64, m int, rng *rand.Rand) {
+	c, k := be.c, be.k
+	for f := 0; f < c.nv; f++ {
+		X[(c.vOff()+f)*k+m] = 0.02 * c.Params.Vc * (2*rng.Float64() - 1)
+	}
+	for j := 0; j < c.nm; j++ {
+		X[(c.xOff()+j)*k+m] = rng.Float64()
+	}
+	for d := 0; d < c.nd; d++ {
+		X[(c.iOff()+d)*k+m] = 0
+		X[(c.sOff()+d)*k+m] = 1
+	}
+}
+
+// Lane gathers member m's state into dst (length dim) and returns it;
+// dst may be nil to use the engine's private scratch (valid until the
+// next extraction call).
+func (be *BatchEngine) Lane(X []float64, m int, dst la.Vector) la.Vector {
+	if dst == nil {
+		dst = be.lane
+	}
+	k := be.k
+	for j := range dst {
+		dst[j] = X[j*k+m]
+	}
+	return dst
+}
+
+// SetLane scatters a scalar state into member m's lane of X.
+func (be *BatchEngine) SetLane(X []float64, m int, src la.Vector) {
+	k := be.k
+	for j, v := range src {
+		X[j*k+m] = v
+	}
+}
+
+// ClampBatch enforces the scalar ClampState invariants on every lane:
+// memristor states to [0,1], VCDCG currents to ±IBoundFactor·IMax. The
+// operation is lane-local and branch-free over dead lanes (clamping a
+// retired lane's garbage is harmless — it is never read again), and per
+// live lane bit-identical to ClampState.
+//
+//dmmvet:hotpath
+func (be *BatchEngine) ClampBatch(X []float64) {
+	c, k := be.c, be.k
+	xs := X[c.xOff()*k : c.xOff()*k+c.nm*k]
+	for t, v := range xs {
+		xs[t] = memristor.Clamp(v)
+	}
+	iBound := IBoundFactor * c.Params.DCG.IMax
+	is := X[c.iOff()*k : c.iOff()*k+c.nd*k]
+	for t, v := range is {
+		if v > iBound {
+			is[t] = iBound
+		} else if v < -iBound {
+			is[t] = -iBound
+		}
+	}
+}
+
+// HasNaNLane reports whether any state element of member m is NaN — the
+// per-lane divergence test the batch scheduler uses where the scalar
+// driver would reject the step.
+//
+//dmmvet:hotpath
+func (be *BatchEngine) HasNaNLane(X []float64, m int) bool {
+	k := be.k
+	n := be.c.Dim()
+	for j := 0; j < n; j++ {
+		if math.IsNaN(X[j*k+m]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConvergedMember evaluates the scalar convergence predicate on member
+// m's extracted lane.
+func (be *BatchEngine) ConvergedMember(t float64, X []float64, m int, tol float64) bool {
+	return be.c.Converged(t, be.Lane(X, m, be.lane), tol)
+}
+
+// VerifyMember runs the scalar post-clamp invariant checks on member m's
+// extracted lane.
+func (be *BatchEngine) VerifyMember(t float64, step int, X []float64, m int) error {
+	return be.c.VerifyState(t, step, be.Lane(X, m, be.lane))
+}
+
+// BatchPhysicsProbe aggregates the scalar physics observables over the
+// live members of a batch: mean saturation fraction, max |dv/dt| and
+// |dx/dt| over members, summed memristor-state histogram. Each member is
+// probed by the scalar PhysicsProbe on its extracted lane, so per-member
+// observables match a scalar run exactly before aggregation.
+type BatchPhysicsProbe struct {
+	be    *BatchEngine
+	probe *PhysicsProbe
+	lane  la.Vector
+}
+
+// NewBatchPhysicsProbe returns a probe over be with private scratch.
+func NewBatchPhysicsProbe(be *BatchEngine) *BatchPhysicsProbe {
+	return &BatchPhysicsProbe{
+		be:    be,
+		probe: NewPhysicsProbe(be.c),
+		lane:  la.NewVector(be.c.Dim()),
+	}
+}
+
+// SampleBatch probes every live member at (t, X) and returns the
+// aggregate sample plus the live-member count (0 live members return a
+// zero sample).
+func (bp *BatchPhysicsProbe) SampleBatch(t float64, X []float64, alive []bool) (PhysicsSample, int) {
+	agg := PhysicsSample{T: t}
+	live := 0
+	for m, on := range alive {
+		if !on {
+			continue
+		}
+		s := bp.probe.Sample(t, bp.be.Lane(X, m, bp.lane))
+		agg.SaturatedFrac += s.SaturatedFrac
+		if s.MaxDvDt > agg.MaxDvDt {
+			agg.MaxDvDt = s.MaxDvDt
+		}
+		if s.MaxDxDt > agg.MaxDxDt {
+			agg.MaxDxDt = s.MaxDxDt
+		}
+		for b := range s.MemHist {
+			agg.MemHist[b] += s.MemHist[b]
+		}
+		live++
+	}
+	if live > 0 {
+		agg.SaturatedFrac /= float64(live)
+	}
+	return agg, live
+}

@@ -125,6 +125,29 @@ func (c *Circuit) fillConductances(g la.Vector, x la.Vector, xOff int) {
 	}
 }
 
+// fillConductancesBatch writes the member-interleaved conductance buffer
+// gB (branch b of member m at b*k+m) for all K members of the batch
+// state X: memristor branches evaluated per lane at the clamped states,
+// resistor branches broadcast at 1/R. Per lane it is bit-identical to
+// fillConductances.
+//
+//dmmvet:hotpath
+func (c *Circuit) fillConductancesBatch(gB []float64, k int, X []float64, xOff int) {
+	p := &c.Params
+	for j := 0; j < c.nm; j++ {
+		src := X[(xOff+j)*k:][:k]
+		dst := gB[j*k:][:len(src)]
+		for m, xv := range src {
+			dst[m] = p.Mem.G(memristor.Clamp(xv))
+		}
+	}
+	invR := 1 / p.R
+	res := gB[c.nm*k:]
+	for t := range res {
+		res[t] = invR
+	}
+}
+
 // Dim returns the ODE state dimension.
 func (c *Circuit) Dim() int { return c.nv + c.nm + 2*c.nd }
 

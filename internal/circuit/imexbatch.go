@@ -1,0 +1,669 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/invariant"
+	"repro/internal/la"
+	"repro/internal/obs"
+	"repro/internal/ode"
+)
+
+// BatchIMEXStepper advances K lockstep ensemble members by one IMEX step
+// in a single pass per phase: one interleaved conductance fill, one
+// interleaved stamp assembly, one walk over the shared symbolic
+// factorization that refactors/solves all K shifted voltage systems
+// (la.RefactorBatch / la.SolveBatchInto), and one interleaved explicit
+// update of the slow states. Because all members share the step-size
+// controller, the per-rung factor cache is shared too: a rung change
+// triggers exactly one blocked numeric refactorization for the whole
+// batch instead of one per member — the open ROADMAP note from the
+// ladder PR, closed here and asserted by TestBatchOneRefactorPerRung.
+//
+// Bit-identity contract: every lane follows the exact scalar
+// IMEXStepper.Step arithmetic — same assembly op order, same
+// classify/refine/refresh decisions taken per lane, same warm-start and
+// history shifts — so member m of a batch is bit-identical to a scalar
+// attempt integrating the same initial state over the same h sequence.
+// Dead lanes (alive[m] == false) keep being computed where the work is
+// lane-local (their garbage is never read) but are excluded from factor
+// masks, classification, refinement control, and counters, so a retired
+// or diverged lane can never perturb a live one.
+//
+// Deviations from the scalar path, by design: a singular refactorization
+// fails the whole batch (the scalar driver would shrink h for the one
+// member), and per-lane NaN divergence is the scheduler's business
+// (runBatch retires the lane) rather than a step-size rejection. The
+// dense path is not batched — BatchIMEXStepper is sparse-only.
+type BatchIMEXStepper struct {
+	be    *BatchEngine
+	c     *Circuit
+	k     int
+	stats *ode.Stats
+
+	// Tunables, with the same semantics and defaults as IMEXStepper.
+	RefactorTol    float64
+	StaleMax       float64
+	RefineTol      float64
+	MaxRefine      int
+	RefreshSweeps  int
+	FactorCacheCap int
+
+	// Obs receives refactor/factor-hit/refine telemetry: Refactor() once
+	// per blocked refactorization event, FactorHit/Refine per member lane.
+	Obs *obs.StepObs
+
+	cache batchFacCache
+
+	// Interleaved scratch ([·*k], member index fastest).
+	valB    []float64 // sparse values of shift·I + A(g_m) per lane
+	gB      []float64 // per-branch conductances per lane
+	nodeVB  []float64 // full node-voltage view per lane
+	rhsB    []float64
+	vNewB   []float64
+	vPrevB  []float64
+	vPrev2B []float64
+	residB  []float64
+	deltaB  []float64
+
+	// Per-lane control state ([k]).
+	classB    []facReuse
+	refacMask []bool // lanes refactoring before the solve
+	directM   []bool // lanes taking the direct (non-refined) solve
+	activeM   []bool // lanes still iterating inside the refine loop
+	refreshM  []bool // lanes whose slot refreshes after the refine loop
+	fallbackM []bool // refine-failed lanes re-solved directly
+	refineOK  []bool
+	normsB    []float64
+	boundB    []float64
+	prevB     []float64
+	powerB    []float64
+	offB      []float64
+	dropB     []float64 // per-lane memristor voltage-drop row for AdvanceRow
+	energyB   []float64
+	sweepsB   []int
+
+	iLane la.Vector // [nd] per-lane VCDCG current gather for FsOffset
+	laneV la.Vector // [nv] invariant-check lane extraction
+	laneX la.Vector // [dim] invariant-check lane extraction
+}
+
+// NewBatchIMEX returns a lockstep IMEX stepper over be's K members with
+// all interleaved scratch preallocated; stats (optional) receives
+// batch-level counters: Steps per lockstep step, FEvals per live member
+// step, Refactors per blocked refactorization event, FactorHits and
+// Refines per member lane.
+func NewBatchIMEX(be *BatchEngine, stats *ode.Stats) *BatchIMEXStepper {
+	c, k := be.c, be.k
+	nb := c.memBr.len() + c.resBr.len()
+	return &BatchIMEXStepper{
+		be:            be,
+		c:             c,
+		k:             k,
+		stats:         stats,
+		RefactorTol:   5e-3,
+		RefineTol:     DefaultRefineTol,
+		MaxRefine:     DefaultMaxRefine,
+		RefreshSweeps: DefaultRefreshSweeps,
+
+		valB:    make([]float64, len(c.plan.csr.Val)*k),
+		gB:      make([]float64, nb*k),
+		nodeVB:  make([]float64, c.numNodes*k),
+		rhsB:    make([]float64, c.nv*k),
+		vNewB:   make([]float64, c.nv*k),
+		vPrevB:  make([]float64, c.nv*k),
+		vPrev2B: make([]float64, c.nv*k),
+		residB:  make([]float64, c.nv*k),
+		deltaB:  make([]float64, c.nv*k),
+
+		classB:    make([]facReuse, k),
+		refacMask: make([]bool, k),
+		directM:   make([]bool, k),
+		activeM:   make([]bool, k),
+		refreshM:  make([]bool, k),
+		fallbackM: make([]bool, k),
+		refineOK:  make([]bool, k),
+		normsB:    make([]float64, k),
+		boundB:    make([]float64, k),
+		prevB:     make([]float64, k),
+		powerB:    make([]float64, k),
+		offB:      make([]float64, k),
+		dropB:     make([]float64, k),
+		energyB:   make([]float64, k),
+		sweepsB:   make([]int, k),
+
+		iLane: la.NewVector(c.nd),
+		laneV: la.NewVector(c.nv),
+		laneX: la.NewVector(c.Dim()),
+	}
+}
+
+// Name identifies the method.
+func (s *BatchIMEXStepper) Name() string { return "imex-batch" }
+
+// EnergyLane returns the dissipated energy accumulated by member m.
+func (s *BatchIMEXStepper) EnergyLane(m int) float64 { return s.energyB[m] }
+
+// ResetEnergy zeroes every lane's dissipation accumulator.
+func (s *BatchIMEXStepper) ResetEnergy() {
+	for m := range s.energyB {
+		s.energyB[m] = 0
+	}
+}
+
+// batchFacSlot is one cached blocked factorization of the shifted
+// voltage system: K numeric factors over the shared symbolic structure
+// plus the interleaved conductance snapshot each lane was assembled
+// from. The slot key (hBits) is shared — lockstep members always agree
+// on h — while staleness is judged per lane against gAtB.
+type batchFacSlot struct {
+	hBits uint64
+	bf    *la.BatchFactor // K numeric factors (lazily allocated)
+	gAtB  []float64       // [nm*k] conductances at each lane's factorization
+	stamp int64
+	used  bool
+}
+
+// batchFacCache mirrors facCache's linear-scan LRU over batch slots; the
+// clock advances once per lockstep lookup, so the hit/evict sequence is
+// identical to K private scalar caches driven by the same h sequence.
+type batchFacCache struct {
+	slots     []batchFacSlot
+	clock     int64
+	evictions int
+}
+
+// lookup returns the slot for hBits and whether it holds a valid
+// factorization; on a miss the eviction victim is returned untouched for
+// the caller to refactor into.
+func (fc *batchFacCache) lookup(hBits uint64) (*batchFacSlot, bool) {
+	fc.clock++
+	var victim *batchFacSlot
+	for i := range fc.slots {
+		sl := &fc.slots[i]
+		if sl.used && sl.hBits == hBits {
+			sl.stamp = fc.clock
+			return sl, true
+		}
+		switch {
+		case victim == nil:
+			victim = sl
+		case !sl.used && victim.used:
+			victim = sl
+		case sl.used == victim.used && sl.stamp < victim.stamp:
+			victim = sl
+		}
+	}
+	if victim.used {
+		fc.evictions++
+	}
+	victim.stamp = fc.clock
+	return victim, false
+}
+
+// ensureCache allocates the slot array on first use (FactorCacheCap is a
+// public field set after NewBatchIMEX).
+//
+//dmmvet:coldpath — one slice allocation on the first step of a run; every later call returns immediately
+func (s *BatchIMEXStepper) ensureCache() {
+	if s.cache.slots != nil {
+		return
+	}
+	n := s.FactorCacheCap
+	if n == 0 {
+		n = DefaultFactorCacheCap
+	}
+	if n < 1 {
+		n = 1
+	}
+	s.cache.slots = make([]batchFacSlot, n)
+}
+
+// ensureSlot lazily allocates a slot's factor block and conductance
+// snapshot.
+//
+//dmmvet:coldpath — slot storage is allocated once per cache slot and amortized across the run
+func (s *BatchIMEXStepper) ensureSlot(slot *batchFacSlot) {
+	if slot.bf == nil {
+		slot.bf = s.c.symb.NewBatchFactor(s.k)
+		slot.gAtB = make([]float64, s.c.nm*s.k)
+	}
+}
+
+// laneDrift reports whether member m's conductances have moved more than
+// tol (relative) from the lane's snapshot in slot — the strided
+// equivalent of conductanceDrift.
+func (s *BatchIMEXStepper) laneDrift(slot *batchFacSlot, m int, tol float64) bool {
+	gB, gAtB, k := s.gB, slot.gAtB, s.k
+	for j := 0; j < s.c.nm; j++ {
+		gNow, gAt := gB[j*k+m], gAtB[j*k+m]
+		if math.Abs(gNow-gAt) > tol*gAt {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshotLanes copies the current conductances of every masked lane
+// into the slot's per-lane factorization snapshot.
+func (s *BatchIMEXStepper) snapshotLanes(slot *batchFacSlot, mask []bool) {
+	k := s.k
+	for j := 0; j < s.c.nm; j++ {
+		src := s.gB[j*k:][:len(mask)]
+		dst := slot.gAtB[j*k:][:len(mask)]
+		for m, on := range mask {
+			if on {
+				dst[m] = src[m]
+			}
+		}
+	}
+}
+
+// countRefactor tallies one blocked numeric refactorization event — one
+// per batch, regardless of how many lanes it refreshed; that "once per
+// rung change, not K" accounting is the point of the shared cache.
+func (s *BatchIMEXStepper) countRefactor() {
+	if s.stats != nil {
+		s.stats.JacEvals++
+		s.stats.Refactors++
+	}
+	s.Obs.Refactor()
+}
+
+// countFactorHit tallies one member step served from a cached factor.
+func (s *BatchIMEXStepper) countFactorHit(sweeps int) {
+	if s.stats != nil {
+		s.stats.FactorHits++
+		s.stats.Refines += sweeps
+	}
+	s.Obs.FactorHit()
+	s.Obs.Refine(sweeps)
+}
+
+// laneNormInf returns the infinity norm of member m's lane of the
+// interleaved vector b ([n*k]).
+func laneNormInf(b []float64, k, m int) float64 {
+	norm := 0.0
+	for t := m; t < len(b); t += k {
+		v := b[t]
+		if v < 0 {
+			v = -v
+		}
+		if v > norm {
+			norm = v
+		}
+	}
+	return norm
+}
+
+// StepBatch advances every member of X ([dim*k], member-interleaved) by
+// one IMEX step of size h. alive masks the members still integrating:
+// dead lanes are carried along branch-free where the work is lane-local
+// but never enter factor masks, classification, or counters. It
+// allocates nothing on the steady path.
+//
+//dmmvet:hotpath
+func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) error {
+	c, k := s.c, s.k
+	if len(alive) != k {
+		return fmt.Errorf("circuit: StepBatch alive mask has %d lanes, batch has %d", len(alive), k)
+	}
+	p := &c.Params
+
+	// Conductances for the current memristor states, all lanes.
+	c.fillConductancesBatch(s.gB, k, X, c.xOff())
+
+	// Node voltages at t+h: free from state, pinned broadcast.
+	for n := 0; n < c.numNodes; n++ {
+		dst := s.nodeVB[n*k:][:k]
+		if fi := c.freeIdx[n]; fi >= 0 {
+			copy(dst, X[(c.vOff()+fi)*k:][:len(dst)])
+		} else {
+			for m := range dst {
+				dst[m] = 0
+			}
+		}
+	}
+	for _, pn := range c.pins {
+		v := pn.src.V(t + h)
+		dst := s.nodeVB[pn.node*k:][:k]
+		for m := range dst {
+			dst[m] = v
+		}
+	}
+
+	// Factor bookkeeping for (C/h·I + A): one shared cache lookup (the
+	// lockstep h is the key), then the scalar classifyReuse decision per
+	// live lane against that lane's conductance snapshot.
+	shift := p.C / h
+	s.ensureCache()
+	hBits := math.Float64bits(h)
+	slot, hit := s.cache.lookup(hBits)
+	s.ensureSlot(slot)
+
+	refine := s.StaleMax > s.RefactorTol
+	exactTol := s.RefactorTol
+	if refine {
+		exactTol *= refineExactFrac
+	}
+	anyRefactor, anyRefine, anyDirect, anyLive := false, false, false, false
+	for m, on := range alive {
+		s.refacMask[m] = false
+		s.directM[m] = false
+		s.activeM[m] = false
+		s.refreshM[m] = false
+		s.fallbackM[m] = false
+		s.refineOK[m] = false
+		s.classB[m] = facRefactor
+		if !on {
+			continue
+		}
+		anyLive = true
+		cls := facRefactor
+		if hit && s.RefactorTol > 0 {
+			if !s.laneDrift(slot, m, exactTol) {
+				cls = facExact
+			} else if refine && !s.laneDrift(slot, m, s.StaleMax) {
+				cls = facRefine
+			}
+		}
+		s.classB[m] = cls
+		switch cls {
+		case facRefactor:
+			s.refacMask[m] = true
+			s.directM[m] = true
+			anyRefactor, anyDirect = true, true
+		case facExact:
+			s.directM[m] = true
+			anyDirect = true
+		case facRefine:
+			s.activeM[m] = true
+			anyRefine = true
+		}
+	}
+	if !anyLive {
+		return fmt.Errorf("circuit: StepBatch called with no live members")
+	}
+
+	// Assemble the current per-lane matrix values whenever any lane
+	// refactors (the factorization source) or refines (the residual
+	// target). Exact-only steps skip assembly, as the scalar path does.
+	if anyRefactor || anyRefine {
+		c.plan.assembleBatch(s.valB, k, shift, s.gB)
+	}
+	if anyRefactor {
+		if err := s.c.symb.RefactorBatch(slot.bf, s.valB, s.refacMask); err != nil {
+			slot.used = false
+			return fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+		}
+		s.snapshotLanes(slot, s.refacMask)
+		slot.hBits = hBits
+		slot.used = true
+		s.countRefactor()
+	}
+
+	// Right-hand side, all lanes: branch contributions, VCDCG current
+	// draws, and the C/h·v history term.
+	for i := range s.rhsB {
+		s.rhsB[i] = 0
+	}
+	c.plan.assembleRHSBatch(s.rhsB, k, s.gB, s.nodeVB)
+	for d, node := range c.dcgNodes {
+		if fi := c.freeIdx[node]; fi >= 0 {
+			dst := s.rhsB[fi*k:][:k]
+			src := X[(c.iOff()+d)*k:][:len(dst)]
+			for m := range dst {
+				dst[m] -= src[m]
+			}
+		}
+	}
+	for f := 0; f < c.nv; f++ {
+		dst := s.rhsB[f*k:][:k]
+		src := X[(c.vOff()+f)*k:][:len(dst)]
+		for m := range dst {
+			dst[m] += shift * src[m]
+		}
+	}
+
+	// Direct lanes (fresh or exact factors): shift the warm-start history
+	// and solve in one masked multi-RHS pass.
+	if anyDirect {
+		for f := 0; f < c.nv; f++ {
+			row := f * k
+			for m, on := range s.directM {
+				if on {
+					s.vPrev2B[row+m] = s.vPrevB[row+m]
+					s.vPrevB[row+m] = s.vNewB[row+m]
+				}
+			}
+		}
+		s.c.symb.SolveBatchInto(s.vNewB, s.rhsB, slot.bf, s.directM)
+		for m, on := range alive {
+			if on && s.classB[m] == facExact {
+				s.countFactorHit(0)
+			}
+		}
+	}
+
+	if anyRefine {
+		if err := s.solveRefinedBatch(slot, hBits); err != nil {
+			return err
+		}
+	}
+
+	// Updated full node-voltage view.
+	for n := 0; n < c.numNodes; n++ {
+		if fi := c.freeIdx[n]; fi >= 0 {
+			copy(s.nodeVB[n*k:][:k], s.vNewB[fi*k:][:k])
+		}
+	}
+
+	// Explicit updates of the slow states, all lanes, with the per-lane
+	// dissipation tally g·d².
+	for m := range s.powerB {
+		s.powerB[m] = 0
+	}
+	mb := &c.memBr
+	for j := 0; j < mb.len(); j++ {
+		nv := s.nodeVB[int(mb.node[j])*k:][:k]
+		l1 := s.nodeVB[int(mb.i1[j])*k:][:len(nv)]
+		l2 := s.nodeVB[int(mb.i2[j])*k:][:len(nv)]
+		lo := s.nodeVB[int(mb.io[j])*k:][:len(nv)]
+		a1, a2, ao, dc := mb.a1[j], mb.a2[j], mb.ao[j], mb.dc[j]
+		sigma := mb.sigma[j]
+		xrow := X[(c.xOff()+j)*k:][:len(nv)]
+		grow := s.gB[j*k:][:len(nv)]
+		pw := s.powerB[:len(nv)]
+		drow := s.dropB[:len(nv)]
+		for m, v := range nv {
+			d := v - (a1*l1[m] + a2*l2[m] + ao*lo[m] + dc)
+			drow[m] = d
+			pw[m] += grow[m] * d * d
+		}
+		p.Mem.AdvanceRow(h, sigma, xrow, drow)
+	}
+	rb := &c.resBr
+	invR := 1 / p.R
+	for j := 0; j < rb.len(); j++ {
+		nv := s.nodeVB[int(rb.node[j])*k:][:k]
+		l1 := s.nodeVB[int(rb.i1[j])*k:][:len(nv)]
+		l2 := s.nodeVB[int(rb.i2[j])*k:][:len(nv)]
+		lo := s.nodeVB[int(rb.io[j])*k:][:len(nv)]
+		a1, a2, ao, dc := rb.a1[j], rb.a2[j], rb.ao[j], rb.dc[j]
+		pw := s.powerB[:len(nv)]
+		for m, v := range nv {
+			d := v - (a1*l1[m] + a2*l2[m] + ao*lo[m] + dc)
+			pw[m] += d * d * invR
+		}
+	}
+	for m, pw := range s.powerB {
+		s.energyB[m] += h * pw
+	}
+	// VCDCG slow states: the f_s offset couples generators within a lane
+	// (never across lanes), so it is gathered and evaluated per lane.
+	for m := 0; m < k; m++ {
+		for d := 0; d < c.nd; d++ {
+			s.iLane[d] = X[(c.iOff()+d)*k+m]
+		}
+		s.offB[m] = p.DCG.FsOffset(s.iLane)
+	}
+	for d, node := range c.dcgNodes {
+		nv := s.nodeVB[node*k:][:k]
+		irow := X[(c.iOff()+d)*k:][:len(nv)]
+		srow := X[(c.sOff()+d)*k:][:len(nv)]
+		for m, v := range nv {
+			i := irow[m]
+			sv := srow[m]
+			irow[m] = i + h*p.DCG.DiDt(v, i, sv)
+			srow[m] = sv + h*p.DCG.Fs(sv, s.offB[m])
+		}
+	}
+	// Commit voltages.
+	for f := 0; f < c.nv; f++ {
+		copy(X[(c.vOff()+f)*k:][:k], s.vNewB[f*k:][:k])
+	}
+	if s.stats != nil {
+		s.stats.Steps++
+		for _, on := range alive {
+			if on {
+				s.stats.FEvals++
+			}
+		}
+	}
+	// Per-step in-loop checks (compiled out without the dmminvariant
+	// tag), per live lane on the extracted scalar views.
+	if invariant.Enabled {
+		step := 0
+		if s.stats != nil {
+			step = s.stats.Steps
+		}
+		vb := VBoundFactor * p.Vc
+		for m, on := range alive {
+			if !on {
+				continue
+			}
+			for f := 0; f < c.nv; f++ {
+				s.laneV[f] = s.vNewB[f*k+m]
+			}
+			if v := invariant.Range("voltage-bound", "free-node", step, t+h, s.laneV, -vb, vb); v != nil {
+				v.Index = c.nodeOfFree(v.Index)
+				return v
+			}
+			if v := invariant.Finite("state", step, t+h, s.be.Lane(X, m, s.laneX)); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// solveRefinedBatch runs the scalar solveRefined decision loop across
+// every refine-classified lane at once: extrapolated warm start, then
+// refinement sweeps — one masked batched residual plus one masked
+// multi-RHS solve per sweep — with each lane retiring from the active
+// mask the moment its own bound, bail, or sweep cap fires, exactly when
+// the scalar loop would return for that member. Lanes whose factor aged
+// past RefreshSweeps and lanes that failed to converge share one blocked
+// refactorization (one refactor event); failed lanes then re-solve
+// directly against the fresh factor.
+func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) error {
+	c, k := s.c, s.k
+	// Warm start by quadratic extrapolation, fused with the history
+	// shift, per refine lane (bit-identical to solveRefined's loop).
+	for f := 0; f < c.nv; f++ {
+		row := f * k
+		for m, on := range s.activeM {
+			if on {
+				v := s.vNewB[row+m]
+				s.vNewB[row+m] = 3*(v-s.vPrevB[row+m]) + s.vPrev2B[row+m]
+				s.vPrev2B[row+m] = s.vPrevB[row+m]
+				s.vPrevB[row+m] = v
+			}
+		}
+	}
+	anyActive := false
+	for m, on := range s.activeM {
+		if on {
+			s.boundB[m] = s.RefineTol * laneNormInf(s.rhsB, k, m)
+			s.prevB[m] = math.Inf(1)
+			s.refineOK[m] = false
+			anyActive = true
+		}
+	}
+	for it := 0; anyActive; it++ {
+		c.plan.csr.ResidualNormBatchInto(s.residB, s.rhsB, s.vNewB, s.valB, k, s.normsB, s.activeM)
+		anyActive = false
+		for m, on := range s.activeM {
+			if !on {
+				continue
+			}
+			r := s.normsB[m]
+			switch {
+			case r <= s.boundB[m]:
+				s.sweepsB[m] = it
+				s.refineOK[m] = true
+				s.activeM[m] = false
+			case it >= s.MaxRefine || r > refineBail*s.prevB[m]:
+				s.sweepsB[m] = it
+				s.activeM[m] = false
+				s.fallbackM[m] = true
+			default:
+				s.prevB[m] = r
+				anyActive = true
+			}
+		}
+		if !anyActive {
+			break
+		}
+		s.c.symb.SolveBatchInto(s.deltaB, s.residB, slot.bf, s.activeM)
+		for f := 0; f < c.nv; f++ {
+			row := f * k
+			for m, on := range s.activeM {
+				if on {
+					s.vNewB[row+m] += s.deltaB[row+m]
+				}
+			}
+		}
+	}
+	anyRefresh := false
+	for m := range s.refineOK {
+		if s.classB[m] != facRefine || !(s.refineOK[m] || s.fallbackM[m]) {
+			continue
+		}
+		if s.refineOK[m] {
+			s.countFactorHit(s.sweepsB[m])
+			if s.sweepsB[m] >= s.RefreshSweeps {
+				s.refreshM[m] = true
+				anyRefresh = true
+			}
+		} else {
+			// Fallback lanes pay the refactorization and a direct solve.
+			s.refreshM[m] = true
+			anyRefresh = true
+		}
+	}
+	if anyRefresh {
+		// One blocked refresh for every lane past break-even or bailed
+		// out — the current values are already assembled in valB.
+		if err := s.c.symb.RefactorBatch(slot.bf, s.valB, s.refreshM); err != nil {
+			slot.used = false
+			return fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
+		}
+		s.snapshotLanes(slot, s.refreshM)
+		slot.hBits = hBits
+		slot.used = true
+		s.countRefactor()
+	}
+	anyFallback := false
+	for _, on := range s.fallbackM {
+		if on {
+			anyFallback = true
+			break
+		}
+	}
+	if anyFallback {
+		s.c.symb.SolveBatchInto(s.vNewB, s.rhsB, slot.bf, s.fallbackM)
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/ode"
+)
+
+// batchPair is a K-wide batch stepper alongside K scalar steppers over
+// clones of the same circuit, every member seeded identically on both
+// sides, so tests can drive the two in lockstep and compare states
+// bit for bit.
+type batchPair struct {
+	k       int
+	be      *BatchEngine
+	batch   *BatchIMEXStepper
+	X       []float64
+	alive   []bool
+	scalars []*IMEXStepper
+	circs   []*Circuit
+	xs      []la.Vector
+}
+
+// tunables is the shared knob set applied to both sides of a pair.
+type tunables struct {
+	refactorTol   float64
+	staleMax      float64
+	refreshSweeps int
+	maxRefine     int
+}
+
+// newBatchPair builds the pair with identical tunables and identical
+// per-member seeds (member m uses seed+m, the portfolio convention).
+func newBatchPair(t *testing.T, k int, seed int64, tu tunables) *batchPair {
+	t.Helper()
+	c := buildMixed(t)
+	be := NewBatchEngine(c, k)
+	p := &batchPair{
+		k:     k,
+		be:    be,
+		batch: NewBatchIMEX(be, &ode.Stats{}),
+		X:     be.NewState(),
+		alive: make([]bool, k),
+	}
+	p.batch.RefactorTol = tu.refactorTol
+	p.batch.StaleMax = tu.staleMax
+	if tu.refreshSweeps > 0 {
+		p.batch.RefreshSweeps = tu.refreshSweeps
+	}
+	if tu.maxRefine > 0 {
+		p.batch.MaxRefine = tu.maxRefine
+	}
+	for m := 0; m < k; m++ {
+		p.alive[m] = true
+		be.InitMember(p.X, m, rand.New(rand.NewSource(seed+int64(m))))
+		cm := c.Clone().(*Circuit)
+		sm := NewIMEX(cm, &ode.Stats{})
+		sm.RefactorTol = tu.refactorTol
+		sm.StaleMax = tu.staleMax
+		if tu.refreshSweeps > 0 {
+			sm.RefreshSweeps = tu.refreshSweeps
+		}
+		if tu.maxRefine > 0 {
+			sm.MaxRefine = tu.maxRefine
+		}
+		p.circs = append(p.circs, cm)
+		p.scalars = append(p.scalars, sm)
+		p.xs = append(p.xs, cm.InitialState(rand.New(rand.NewSource(seed+int64(m)))))
+	}
+	return p
+}
+
+// stepBoth advances the batch and every live scalar twin by one
+// identical step (step + clamp) and fails on the first state element
+// that is not bit-identical.
+func (p *batchPair) stepBoth(t *testing.T, i int, tNow, h float64) {
+	t.Helper()
+	if err := p.batch.StepBatch(tNow, h, p.X, p.alive); err != nil {
+		t.Fatalf("batch step %d: %v", i, err)
+	}
+	p.be.ClampBatch(p.X)
+	for m, on := range p.alive {
+		if !on {
+			continue
+		}
+		if _, err := p.scalars[m].Step(p.circs[m], tNow, h, p.xs[m]); err != nil {
+			t.Fatalf("scalar step %d member %d: %v", i, m, err)
+		}
+		p.circs[m].ClampState(p.xs[m])
+		lane := p.be.Lane(p.X, m, nil)
+		for j := range p.xs[m] {
+			if b, s := lane[j], p.xs[m][j]; b != s && !(math.IsNaN(b) && math.IsNaN(s)) {
+				t.Fatalf("step %d member %d state[%d]: batch %v (%#x) scalar %v (%#x)",
+					i, m, j, b, math.Float64bits(b), s, math.Float64bits(s))
+			}
+		}
+	}
+}
+
+// oscillatingH returns the step size for step i: two rungs alternating
+// every 7 steps, so the factor cache sees first visits, revisits, and
+// per-rung drift exactly as the quantized ladder controller produces
+// them.
+func oscillatingH(i int) float64 {
+	if (i/7)%2 == 0 {
+		return 1e-3
+	}
+	return 2e-3
+}
+
+// TestBatchStepBitIdentical drives a K=4 batch against 4 scalar twins
+// over an oscillating step-size schedule in three tunings — the seed
+// semantics (refinement off), the production ladder band, and a
+// refine-heavy tuning whose narrow exact band forces the warm-started
+// refinement loop (with refresh and fallback transitions) nearly every
+// step — and requires every member's trajectory to stay bit-identical
+// throughout.
+func TestBatchStepBitIdentical(t *testing.T) {
+	cases := []struct {
+		name  string
+		tu    tunables
+		steps int
+	}{
+		{"seed semantics (no refine)", tunables{refactorTol: 5e-3}, 300},
+		{"production ladder band", tunables{refactorTol: 5e-3, staleMax: DefaultStaleMax}, 300},
+		{"refine-heavy", tunables{refactorTol: 1e-4, staleMax: 100, refreshSweeps: 3, maxRefine: 4}, 300},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newBatchPair(t, 4, 11, tc.tu)
+			tNow := 0.0
+			for i := 0; i < tc.steps; i++ {
+				h := oscillatingH(i)
+				p.stepBoth(t, i, tNow, h)
+				tNow += h
+			}
+			// The refinement machinery must actually have been exercised
+			// where the tuning enables it, or the case proves nothing.
+			if tc.tu.staleMax > tc.tu.refactorTol && p.batch.stats.Refines == 0 {
+				t.Fatal("refine-enabled case never refined")
+			}
+			for m := range p.scalars {
+				if got, want := p.batch.EnergyLane(m), p.scalars[m].Energy(); got != want {
+					t.Fatalf("member %d energy: batch %v scalar %v", m, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLiveMaskIsolation retires one lane mid-run (as the scheduler
+// does on divergence) and corrupts its state with NaN; the surviving
+// lanes must stay bit-identical to their scalar twins — a dead lane can
+// never leak into live factors, refinement decisions, or counters.
+func TestBatchLiveMaskIsolation(t *testing.T) {
+	p := newBatchPair(t, 4, 23, tunables{refactorTol: 1e-4, staleMax: 100})
+	tNow := 0.0
+	for i := 0; i < 200; i++ {
+		if i == 50 {
+			p.alive[1] = false
+			for j := 0; j < p.be.Dim(); j++ {
+				p.X[j*p.k+1] = math.NaN()
+			}
+		}
+		h := oscillatingH(i)
+		p.stepBoth(t, i, tNow, h)
+		tNow += h
+	}
+}
+
+// TestBatchOneRefactorPerRung is the lockstep answer to the ladder PR's
+// open ROADMAP note (the rung factor cache was per-clone): with drift
+// tolerances wide enough that staleness never triggers, a K=8 batch
+// visiting three step-size rungs must perform exactly three blocked
+// numeric refactorizations — one per rung change, not one per member —
+// while every other member-step is served from the shared cache.
+func TestBatchOneRefactorPerRung(t *testing.T) {
+	const k = 8
+	c := buildMixed(t)
+	be := NewBatchEngine(c, k)
+	stats := &ode.Stats{}
+	batch := NewBatchIMEX(be, stats)
+	batch.RefactorTol = 1e9 // exact reuse regardless of drift
+	X := be.NewState()
+	alive := make([]bool, k)
+	for m := 0; m < k; m++ {
+		alive[m] = true
+		be.InitMember(X, m, rand.New(rand.NewSource(int64(m))))
+	}
+	schedule := []float64{1e-3, 2e-3, 1e-3, 4e-3} // rung first-visits: 1e-3, 2e-3, 4e-3
+	tNow := 0.0
+	steps := 0
+	for _, h := range schedule {
+		for i := 0; i < 10; i++ {
+			if err := batch.StepBatch(tNow, h, X, alive); err != nil {
+				t.Fatalf("step: %v", err)
+			}
+			be.ClampBatch(X)
+			tNow += h
+			steps++
+		}
+	}
+	if stats.Refactors != 3 {
+		t.Fatalf("Refactors = %d over 3 rung first-visits with K=%d, want exactly 3 (one blocked refactor per rung, not per member)", stats.Refactors, k)
+	}
+	// Every other member-step reused the shared factor.
+	wantHits := k*steps - 3*k
+	if stats.FactorHits != wantHits {
+		t.Fatalf("FactorHits = %d, want %d (K·steps − K per refactor step)", stats.FactorHits, wantHits)
+	}
+}
+
+// TestBatchStepZeroAlloc pins the lockstep hot path's allocation budget
+// at zero once the factor cache is warm, matching the scalar stepper's
+// TestIMEXStepTelemetryZeroAlloc contract.
+func TestBatchStepZeroAlloc(t *testing.T) {
+	const k = 8
+	c := buildMixed(t)
+	be := NewBatchEngine(c, k)
+	batch := NewBatchIMEX(be, &ode.Stats{})
+	batch.StaleMax = DefaultStaleMax
+	X := be.NewState()
+	alive := make([]bool, k)
+	for m := 0; m < k; m++ {
+		alive[m] = true
+		be.InitMember(X, m, rand.New(rand.NewSource(int64(m))))
+	}
+	tNow := 0.0
+	for i := 0; i < 30; i++ { // warm both rungs and the refine scratch
+		h := oscillatingH(i)
+		if err := batch.StepBatch(tNow, h, X, alive); err != nil {
+			t.Fatalf("warmup step: %v", err)
+		}
+		be.ClampBatch(X)
+		tNow += h
+	}
+	i := 30
+	allocs := testing.AllocsPerRun(200, func() {
+		h := oscillatingH(i)
+		if err := batch.StepBatch(tNow, h, X, alive); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		be.ClampBatch(X)
+		tNow += h
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("StepBatch allocates %v per step on the warm path, want 0", allocs)
+	}
+}
+
+// TestBatchEngineLaneRoundTrip pins the interleaved layout addressing:
+// InitMember must reproduce the scalar InitialState draw sequence, and
+// Lane/SetLane must be exact inverses.
+func TestBatchEngineLaneRoundTrip(t *testing.T) {
+	c := buildMixed(t)
+	const k = 3
+	be := NewBatchEngine(c, k)
+	X := be.NewState()
+	for m := 0; m < k; m++ {
+		be.InitMember(X, m, rand.New(rand.NewSource(int64(100+m))))
+	}
+	for m := 0; m < k; m++ {
+		want := c.InitialState(rand.New(rand.NewSource(int64(100 + m))))
+		lane := be.Lane(X, m, nil)
+		for j := range want {
+			if lane[j] != want[j] {
+				t.Fatalf("member %d lane[%d] = %v, want InitialState's %v", m, j, lane[j], want[j])
+			}
+		}
+		be.SetLane(X, m, want)
+		again := be.Lane(X, m, la.NewVector(be.Dim()))
+		for j := range want {
+			if again[j] != want[j] {
+				t.Fatalf("SetLane/Lane round trip broke at member %d elem %d", m, j)
+			}
+		}
+	}
+}

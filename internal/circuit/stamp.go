@@ -221,6 +221,60 @@ func (p *stampPlan) assembleRHS(rhs la.Vector, g la.Vector, nodeV la.Vector) {
 	}
 }
 
+// assembleBatch writes shift·I + A(g_m) for all K members into the
+// member-interleaved sparse value array valB (CSR entry t of member m at
+// t*k+m) from the interleaved conductance buffer gB (branch b of member m
+// at b*k+m). Per lane the op sequence is identical to assemble's sparse
+// path, so each lane's values are bit-identical to a scalar assembly of
+// that member.
+//
+//dmmvet:hotpath
+func (p *stampPlan) assembleBatch(valB []float64, k int, shift float64, gB []float64) {
+	for i := range valB {
+		valB[i] = 0
+	}
+	for _, d := range p.diag {
+		dst := valB[int(d)*k:][:k]
+		for m := range dst {
+			dst[m] = shift
+		}
+	}
+	for op, idx := range p.mIdx {
+		dst := valB[int(idx)*k:][:k]
+		gb := gB[int(p.mBr[op])*k:][:len(dst)]
+		coef := p.mCoef[op]
+		for m, g := range gb {
+			dst[m] += g * coef
+		}
+	}
+}
+
+// assembleRHSBatch accumulates the branch RHS contributions for all K
+// members into the member-interleaved rhsB ([nv*k], pre-zeroed by the
+// caller) from interleaved conductances gB and node voltages nodeVB.
+// Per lane it is bit-identical to assembleRHS.
+//
+//dmmvet:hotpath
+func (p *stampPlan) assembleRHSBatch(rhsB []float64, k int, gB, nodeVB []float64) {
+	for op, fi := range p.rFi {
+		dst := rhsB[int(fi)*k:][:k]
+		gb := gB[int(p.rBr[op])*k:][:len(dst)]
+		nv := nodeVB[int(p.rNode[op])*k:][:len(dst)]
+		coef := p.rCoef[op]
+		for m, g := range gb {
+			dst[m] += g * coef * nv[m]
+		}
+	}
+	for op, fi := range p.dFi {
+		dst := rhsB[int(fi)*k:][:k]
+		gb := gB[int(p.dBr[op])*k:][:len(dst)]
+		dc := p.dDC[op]
+		for m, g := range gb {
+			dst[m] += g * dc
+		}
+	}
+}
+
 // NNZ reports the voltage-system dimension and stored nonzeros of the
 // sparse operator (observability for benchmarks and reports).
 func (c *Circuit) NNZ() (nv, nnz int) {

@@ -1,0 +1,561 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched multi-RHS kernels over a SparseLU's frozen symbolic structure.
+//
+// A batch holds K same-pattern systems in member-interleaved SoA layout:
+// scalar element j of member m lives at index j*K + m, so every symbolic
+// index (a column pointer, a fill position, a permutation entry) is loaded
+// once and applied to K contiguous values. The alternative — member-major
+// blocks — re-walks the symbolic arrays per member and was measured slower
+// (see BenchmarkBatchLayout and DESIGN.md "Batched lockstep ensembles").
+//
+// Bit-identity contract: every kernel performs, per member lane, the exact
+// floating-point operation sequence of its scalar counterpart (Refactor,
+// SolveInto, ResidualNormInto), including the data-dependent zero skips —
+// so a batched member's results are bit-identical to a scalar run of that
+// member, which the lockstep equivalence suites assert.
+
+// BatchFactor holds K sets of numeric L/U values for one SparseLU's
+// symbolic structure, member-interleaved, plus the private workspaces the
+// batched kernels need. Create with NewBatchFactor; a BatchFactor belongs
+// to the SparseLU whose structure sized it and must not be shared across
+// concurrent batches.
+type BatchFactor struct {
+	k  int
+	lx []float64 // interleaved strictly-lower values: L entry t, member m at t*k+m
+	ux []float64 // interleaved upper values (diag last per column)
+
+	x  []float64 // refactor scatter workspace [n*k], zero between calls
+	y  []float64 // solve workspace [n*k]
+	xk []float64 // per-column pivot-row buffer [k]
+}
+
+// K returns the batch width.
+func (bf *BatchFactor) K() int { return bf.k }
+
+// NewBatchFactor allocates an empty K-wide factor sized for f's symbolic
+// structure. Fill it with RefactorBatch. Allocation is a cold-path cost
+// paid once per batch.
+func (f *SparseLU) NewBatchFactor(k int) *BatchFactor {
+	if k < 1 {
+		panic("la: SparseLU.NewBatchFactor requires k >= 1")
+	}
+	return &BatchFactor{
+		k:  k,
+		lx: make([]float64, len(f.li)*k),
+		ux: make([]float64, len(f.ui)*k),
+		x:  make([]float64, f.n*k),
+		y:  make([]float64, f.n*k),
+		xk: make([]float64, k),
+	}
+}
+
+// sparseMask reports whether mask selects few enough lanes that the
+// strided per-lane kernels beat the blocked K-wide walk. The blocked
+// kernels cost O(K·nnz) whatever the popcount, so rare per-lane events —
+// a single drifted member refactoring, one lane refining — would be
+// amplified K-fold in lockstep; below a quarter occupancy the per-lane
+// twins win. Both sides are bit-identical to the scalar kernels, so the
+// dispatch is purely a performance choice.
+func sparseMask(mask []bool, k int) bool {
+	if mask == nil {
+		return false
+	}
+	active := 0
+	for _, on := range mask {
+		if on {
+			active++
+		}
+	}
+	return 4*active <= k
+}
+
+// refactorLane is the strided scalar twin of Refactor for one member
+// lane: the identical op sequence, indexing the interleaved arrays with
+// stride k. The shared scatter workspace is left all-zero behind it, so
+// blocked and strided calls interleave freely.
+//
+//dmmvet:hotpath
+func (f *SparseLU) refactorLane(bf *BatchFactor, valB []float64, m int) error {
+	k := bf.k
+	x := bf.x
+	lxB, uxB := bf.lx, bf.ux
+	aRow, aSrc := f.aRow, f.aSrc
+	liAll := f.li
+	for j := 0; j < f.n; j++ {
+		for t := f.aColPtr[j]; t < f.aColPtr[j+1]; t++ {
+			x[int(aRow[t])*k+m] = valB[int(aSrc[t])*k+m]
+		}
+		uEnd := int(f.up[j+1]) - 1
+		for t := int(f.up[j]); t < uEnd; t++ {
+			c := int(f.ui[t])
+			xk := x[c*k+m]
+			x[c*k+m] = 0
+			uxB[t*k+m] = xk
+			if xk == 0 {
+				continue
+			}
+			li := liAll[f.lp[c]:f.lp[c+1]]
+			base := int(f.lp[c])
+			for s, r := range li {
+				x[int(r)*k+m] -= lxB[(base+s)*k+m] * xk
+			}
+		}
+		d := x[j*k+m]
+		x[j*k+m] = 0
+		uxB[uEnd*k+m] = d
+		if d == 0 || math.IsNaN(d) {
+			return fmt.Errorf("la: batched sparse LU singular at column %d (member %d)", f.perm[j], m)
+		}
+		invD := 1 / d
+		li := liAll[f.lp[j]:f.lp[j+1]]
+		base := int(f.lp[j])
+		for s, r := range li {
+			lxB[(base+s)*k+m] = x[int(r)*k+m] * invD
+			x[int(r)*k+m] = 0
+		}
+	}
+	return nil
+}
+
+// RefactorBatch recomputes the numeric factorization of every masked
+// member from valB — the K interleaved value arrays of the bound pattern
+// (entry t of member m at t*k+m) — in one pass over the shared symbolic
+// structure. mask selects the member lanes to refactor (nil refactors
+// all); unmasked lanes keep their stored factor values untouched, which
+// is what lets a rung cache refresh only the members that drifted.
+//
+// Per masked lane the arithmetic is bit-identical to Refactor, including
+// the xk == 0 elimination skip. It allocates nothing.
+//
+//dmmvet:hotpath
+func (f *SparseLU) RefactorBatch(bf *BatchFactor, valB []float64, mask []bool) error {
+	k := bf.k
+	if len(valB) != len(f.a.Val)*k {
+		panic("la: SparseLU.RefactorBatch value length mismatch")
+	}
+	if sparseMask(mask, k) {
+		// Few drifted lanes: the blocked walk would cost K-wide inner
+		// loops regardless, so refactor each masked lane by the strided
+		// scalar twin — work proportional to the popcount.
+		for m, on := range mask {
+			if on {
+				if err := f.refactorLane(bf, valB, m); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	x, xkb := bf.x, bf.xk
+	lxB, uxB := bf.lx, bf.ux
+	aRow, aSrc := f.aRow, f.aSrc
+	liAll := f.li
+	for j := 0; j < f.n; j++ {
+		// Scatter column j of every masked member's A into the workspace.
+		for t := f.aColPtr[j]; t < f.aColPtr[j+1]; t++ {
+			dst := x[int(aRow[t])*k : int(aRow[t])*k+k]
+			src := valB[int(aSrc[t])*k : int(aSrc[t])*k+k]
+			if mask == nil {
+				copy(dst, src)
+			} else {
+				for m, on := range mask {
+					if on {
+						dst[m] = src[m]
+					}
+				}
+			}
+		}
+		// Eliminate with every upper-pattern column c < j. The pivot row is
+		// copied out through xkb so unmasked lanes contribute exactly zero:
+		// their workspace lanes are never written and stay 0. The per-lane
+		// xk == 0 elimination skip of the scalar kernel is constant across
+		// the whole L column, so it is hoisted: when every lane is nonzero
+		// (the overwhelmingly common case) the inner loop runs branch-free.
+		uEnd := int(f.up[j+1]) - 1 // last entry is the diagonal
+		for t := int(f.up[j]); t < uEnd; t++ {
+			c := int(f.ui[t])
+			xc := x[c*k : c*k+k]
+			ux := uxB[t*k : t*k+k]
+			allNZ := true
+			if mask == nil {
+				for m, v := range xc {
+					xc[m] = 0
+					ux[m] = v
+					xkb[m] = v
+					if v == 0 {
+						allNZ = false
+					}
+				}
+			} else {
+				for m, on := range mask {
+					if on {
+						v := xc[m]
+						xc[m] = 0
+						ux[m] = v
+						xkb[m] = v
+						if v == 0 {
+							allNZ = false
+						}
+					} else {
+						xkb[m] = 0
+						allNZ = false
+					}
+				}
+			}
+			li := liAll[f.lp[c]:f.lp[c+1]]
+			lxRowBase := int(f.lp[c])
+			if allNZ {
+				for s, r := range li {
+					xr := x[int(r)*k:][:len(xkb)]
+					lx := lxB[(lxRowBase+s)*k:][:len(xkb)]
+					for m, xk := range xkb {
+						xr[m] -= lx[m] * xk
+					}
+				}
+			} else {
+				for s, r := range li {
+					xr := x[int(r)*k:][:len(xkb)]
+					lx := lxB[(lxRowBase+s)*k:][:len(xkb)]
+					for m, xk := range xkb {
+						if xk != 0 {
+							xr[m] -= lx[m] * xk
+						}
+					}
+				}
+			}
+		}
+		// Divide the lower part by the diagonal, lane by lane.
+		xj := x[j*k : j*k+k]
+		ud := uxB[uEnd*k : uEnd*k+k]
+		for m := range xkb {
+			if mask != nil && !mask[m] {
+				xkb[m] = 0
+				continue
+			}
+			d := xj[m]
+			xj[m] = 0
+			ud[m] = d
+			if d == 0 || math.IsNaN(d) {
+				return fmt.Errorf("la: batched sparse LU singular at column %d (member %d)", f.perm[j], m)
+			}
+			xkb[m] = 1 / d
+		}
+		li := liAll[f.lp[j]:f.lp[j+1]]
+		lxRowBase := int(f.lp[j])
+		for s, r := range li {
+			xr := x[int(r)*k : int(r)*k+k]
+			lx := lxB[(lxRowBase+s)*k : (lxRowBase+s)*k+k]
+			if mask == nil {
+				for m, invD := range xkb {
+					lx[m] = xr[m] * invD
+					xr[m] = 0
+				}
+			} else {
+				for m, on := range mask {
+					if on {
+						lx[m] = xr[m] * xkb[m]
+						xr[m] = 0
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SolveBatchInto solves the K systems A_m·x_m = b_m into dst using bf's
+// factors, all vectors member-interleaved ([n*k]: element j of member m
+// at j*k+m). mask selects the member lanes to solve (nil solves all);
+// unmasked lanes of dst are left untouched, so a caller can direct-solve
+// some members of a batch while others hold refined solutions. dst may
+// alias b.
+//
+// Per masked lane the arithmetic is bit-identical to SolveInto, including
+// the yj == 0 column skips. It allocates nothing.
+//
+//dmmvet:hotpath
+func (f *SparseLU) SolveBatchInto(dst, b []float64, bf *BatchFactor, mask []bool) {
+	k := bf.k
+	if len(b) != f.n*k || len(dst) != f.n*k {
+		panic("la: SparseLU.SolveBatchInto length mismatch")
+	}
+	if sparseMask(mask, k) {
+		for m, on := range mask {
+			if on {
+				f.solveLaneInto(dst, b, bf, m)
+			}
+		}
+		return
+	}
+	y := bf.y
+	lxB, uxB := bf.lx, bf.ux
+	// Permute b into the workspace; unmasked lanes are zeroed so every
+	// later operation on them short-circuits through the zero skips.
+	for i := 0; i < f.n; i++ {
+		yi := y[i*k : i*k+k]
+		bi := b[f.perm[i]*k : f.perm[i]*k+k]
+		if mask == nil {
+			copy(yi, bi)
+		} else {
+			for m, on := range mask {
+				if on {
+					yi[m] = bi[m]
+				} else {
+					yi[m] = 0
+				}
+			}
+		}
+	}
+	// Forward solve L·z = P·b (unit diagonal, column-oriented). The scalar
+	// kernel's per-lane v == 0 skip is constant across column j's updates,
+	// so it is hoisted: when every lane is nonzero the inner loop is
+	// branch-free, with the checked loop kept as the exact fallback.
+	for j := 0; j < f.n; j++ {
+		yj := y[j*k : j*k+k]
+		allNZ := true
+		for _, v := range yj {
+			if v == 0 {
+				allNZ = false
+				break
+			}
+		}
+		li := f.li[f.lp[j]:f.lp[j+1]]
+		base := int(f.lp[j])
+		if allNZ {
+			for s, r := range li {
+				yr := y[int(r)*k:][:len(yj)]
+				lx := lxB[(base+s)*k:][:len(yj)]
+				for m, v := range yj {
+					yr[m] -= lx[m] * v
+				}
+			}
+		} else {
+			for s, r := range li {
+				yr := y[int(r)*k:][:len(yj)]
+				lx := lxB[(base+s)*k:][:len(yj)]
+				for m, v := range yj {
+					if v != 0 {
+						yr[m] -= lx[m] * v
+					}
+				}
+			}
+		}
+	}
+	// Back solve U·w = z (diagonal last in each column).
+	for j := f.n - 1; j >= 0; j-- {
+		uEnd := int(f.up[j+1]) - 1
+		yj := y[j*k : j*k+k]
+		ud := uxB[uEnd*k:][:len(yj)]
+		allNZ := true
+		for m, v := range yj {
+			q := v / ud[m]
+			yj[m] = q
+			if q == 0 {
+				allNZ = false
+			}
+		}
+		ui := f.ui[f.up[j]:uEnd]
+		base := int(f.up[j])
+		if allNZ {
+			for t, r := range ui {
+				yr := y[int(r)*k:][:len(yj)]
+				ux := uxB[(base+t)*k:][:len(yj)]
+				for m, v := range yj {
+					yr[m] -= ux[m] * v
+				}
+			}
+		} else {
+			for t, r := range ui {
+				yr := y[int(r)*k:][:len(yj)]
+				ux := uxB[(base+t)*k:][:len(yj)]
+				for m, v := range yj {
+					if v != 0 {
+						yr[m] -= ux[m] * v
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < f.n; i++ {
+		yi := y[i*k : i*k+k]
+		di := dst[f.perm[i]*k : f.perm[i]*k+k]
+		if mask == nil {
+			copy(di, yi)
+		} else {
+			for m, on := range mask {
+				if on {
+					di[m] = yi[m]
+				}
+			}
+		}
+	}
+}
+
+// solveLaneInto is the strided scalar twin of SolveInto for one member
+// lane, including the yj == 0 column skips. Lanes of the shared workspace
+// y outside m are never read or written.
+//
+//dmmvet:hotpath
+func (f *SparseLU) solveLaneInto(dst, b []float64, bf *BatchFactor, m int) {
+	k := bf.k
+	y := bf.y
+	lxB, uxB := bf.lx, bf.ux
+	for i := 0; i < f.n; i++ {
+		y[i*k+m] = b[f.perm[i]*k+m]
+	}
+	// Forward solve L·z = P·b (unit diagonal, column-oriented).
+	for j := 0; j < f.n; j++ {
+		yj := y[j*k+m]
+		if yj == 0 {
+			continue
+		}
+		li := f.li[f.lp[j]:f.lp[j+1]]
+		base := int(f.lp[j])
+		for s, r := range li {
+			y[int(r)*k+m] -= lxB[(base+s)*k+m] * yj
+		}
+	}
+	// Back solve U·w = z (diagonal last in each column).
+	for j := f.n - 1; j >= 0; j-- {
+		uEnd := int(f.up[j+1]) - 1
+		yj := y[j*k+m] / uxB[uEnd*k+m]
+		y[j*k+m] = yj
+		if yj == 0 {
+			continue
+		}
+		ui := f.ui[f.up[j]:uEnd]
+		base := int(f.up[j])
+		for t, r := range ui {
+			y[int(r)*k+m] -= uxB[(base+t)*k+m] * yj
+		}
+	}
+	for i := 0; i < f.n; i++ {
+		dst[f.perm[i]*k+m] = y[i*k+m]
+	}
+}
+
+// ResidualNormBatchInto computes dst_m = b_m − A_m·v_m and ‖dst_m‖∞ for
+// every masked member in a single pass over the shared pattern: valB
+// holds the K interleaved value arrays of the pattern m (entry t of
+// member m at t*k+m), and b, v, dst are member-interleaved [Rows*k].
+// norms[m] receives the lane's infinity norm; unmasked lanes of dst and
+// norms are untouched (nil mask computes all lanes).
+//
+// Per masked lane the arithmetic is bit-identical to ResidualNormInto.
+// It allocates nothing.
+//
+//dmmvet:hotpath
+func (m *CSR) ResidualNormBatchInto(dst, b, v, valB []float64, k int, norms []float64, mask []bool) {
+	if len(v) != m.Cols*k || len(b) != m.Rows*k || len(dst) != m.Rows*k {
+		panic("la: CSR.ResidualNormBatchInto shape mismatch")
+	}
+	if sparseMask(mask, k) {
+		for l, on := range mask {
+			if on {
+				m.residualNormLane(dst, b, v, valB, k, norms, l)
+			}
+		}
+		return
+	}
+	if mask == nil {
+		for l := range norms {
+			norms[l] = 0
+		}
+	} else {
+		for l, on := range mask {
+			if on {
+				norms[l] = 0
+			}
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		di := dst[i*k : i*k+k]
+		bi := b[i*k : i*k+k]
+		if mask == nil {
+			copy(di, bi)
+		} else {
+			for l, on := range mask {
+				if on {
+					di[l] = bi[l]
+				}
+			}
+		}
+		for t := m.RowPtr[i]; t < m.RowPtr[i+1]; t++ {
+			vr := v[m.ColIdx[t]*k : m.ColIdx[t]*k+k]
+			vl := valB[t*k : t*k+k]
+			if mask == nil {
+				for l := range di {
+					di[l] -= vl[l] * vr[l]
+				}
+			} else {
+				for l, on := range mask {
+					if on {
+						di[l] -= vl[l] * vr[l]
+					}
+				}
+			}
+		}
+		for l, s := range di {
+			if mask != nil && !mask[l] {
+				continue
+			}
+			if s < 0 {
+				s = -s
+			}
+			if s > norms[l] {
+				norms[l] = s
+			}
+		}
+	}
+}
+
+// residualNormLane is the strided scalar twin of ResidualNormInto for
+// one member lane.
+//
+//dmmvet:hotpath
+func (m *CSR) residualNormLane(dst, b, v, valB []float64, k int, norms []float64, l int) {
+	norm := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := b[i*k+l]
+		for t := m.RowPtr[i]; t < m.RowPtr[i+1]; t++ {
+			s -= valB[t*k+l] * v[m.ColIdx[t]*k+l]
+		}
+		dst[i*k+l] = s
+		if s < 0 {
+			s = -s
+		}
+		if s > norm {
+			norm = s
+		}
+	}
+	norms[l] = norm
+}
+
+// SolveBatchInto solves the K right-hand sides packed member-interleaved
+// in b ([n*k]: element j of member m at j*k+m) against the one dense
+// factorization, writing each solution into the matching lane of dst.
+// Each lane is solved by the scalar substitution, so results are
+// bit-identical to K sequential SolveInto calls. Unlike the sparse batch
+// kernels this is a test/comparator convenience, not a hot path: it
+// allocates its lane-gather scratch per call.
+func (f *LU) SolveBatchInto(dst, b Vector, k int) {
+	if len(b) != f.n*k || len(dst) != f.n*k {
+		panic("la: LU.SolveBatchInto length mismatch")
+	}
+	lane := make(Vector, f.n)
+	for m := 0; m < k; m++ {
+		for i := 0; i < f.n; i++ {
+			lane[i] = b[i*k+m]
+		}
+		f.solveInPlace(f.scratch, lane)
+		for i := 0; i < f.n; i++ {
+			dst[i*k+m] = f.scratch[i]
+		}
+	}
+}

@@ -1,0 +1,582 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testSystem builds a diagonally dominant banded sparse system of the
+// shape the voltage solve produces: a structurally symmetric band plus a
+// strong diagonal shift. Returns the CSR and a value generator that
+// rewrites Val in place from a seed (same pattern, fresh numbers).
+func testSystem(t testing.TB, n, band int) (*CSR, func(*CSR, int64)) {
+	t.Helper()
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 0)
+		for d := 1; d <= band; d++ {
+			if j := i + d; j < n && (i+d)%3 != 0 {
+				b.Add(i, j, 0)
+				b.Add(j, i, 0)
+			}
+		}
+	}
+	a := b.Compile()
+	fill := func(m *CSR, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < m.Rows; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if m.ColIdx[k] == i {
+					m.Val[k] = 20 + 5*rng.Float64()
+				} else {
+					m.Val[k] = 2*rng.Float64() - 1
+				}
+			}
+		}
+	}
+	return a, fill
+}
+
+// cloneVals returns K per-member value arrays plus the interleaved batch
+// copy (entry t of member m at t*k+m).
+func memberVals(a *CSR, fill func(*CSR, int64), k int) (vals [][]float64, valB []float64) {
+	valB = make([]float64, len(a.Val)*k)
+	for m := 0; m < k; m++ {
+		fill(a, int64(100+m))
+		v := append([]float64(nil), a.Val...)
+		vals = append(vals, v)
+		for t, x := range v {
+			valB[t*k+m] = x
+		}
+	}
+	return vals, valB
+}
+
+func interleave(lanes []Vector, k int) []float64 {
+	n := len(lanes[0])
+	out := make([]float64, n*k)
+	for m, lane := range lanes {
+		for i, v := range lane {
+			out[i*k+m] = v
+		}
+	}
+	return out
+}
+
+func laneOf(x []float64, m, k, n int) Vector {
+	out := make(Vector, n)
+	for i := range out {
+		out[i] = x[i*k+m]
+	}
+	return out
+}
+
+// TestRefactorBatchBitIdentical asserts that one blocked RefactorBatch
+// pass produces, for every member lane, exactly the bits of a scalar
+// Refactor of that member's values.
+func TestRefactorBatchBitIdentical(t *testing.T) {
+	const k = 5
+	a, fill := testSystem(t, 200, 4)
+	fill(a, 1)
+	f, err := NewSparseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, valB := memberVals(a, fill, k)
+
+	bf := f.NewBatchFactor(k)
+	if err := f.RefactorBatch(bf, valB, nil); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < k; m++ {
+		copy(a.Val, vals[m])
+		if err := f.Refactor(); err != nil {
+			t.Fatalf("member %d: %v", m, err)
+		}
+		for s, want := range f.lx {
+			if got := bf.lx[s*k+m]; got != want {
+				t.Fatalf("member %d: L[%d] = %g, scalar %g", m, s, got, want)
+			}
+		}
+		for s, want := range f.ux {
+			if got := bf.ux[s*k+m]; got != want {
+				t.Fatalf("member %d: U[%d] = %g, scalar %g", m, s, got, want)
+			}
+		}
+	}
+}
+
+// TestRefactorBatchMask asserts that a masked refactor updates exactly
+// the masked lanes and leaves every other lane's stored factor bits
+// untouched — the contract the per-rung cache refresh relies on.
+func TestRefactorBatchMask(t *testing.T) {
+	const k = 4
+	a, fill := testSystem(t, 120, 3)
+	fill(a, 1)
+	f, err := NewSparseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, valB := memberVals(a, fill, k)
+	bf := f.NewBatchFactor(k)
+	if err := f.RefactorBatch(bf, valB, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), bf.lx...)
+	beforeU := append([]float64(nil), bf.ux...)
+
+	// New values for members 1 and 3 only.
+	valB2 := append([]float64(nil), valB...)
+	rng := rand.New(rand.NewSource(9))
+	for t := range valB2 {
+		if m := t % k; m == 1 || m == 3 {
+			valB2[t] += 0.01 * rng.Float64() * valB2[t]
+		}
+	}
+	mask := []bool{false, true, false, true}
+	if err := f.RefactorBatch(bf, valB2, mask); err != nil {
+		t.Fatal(err)
+	}
+	for s := range before {
+		m := s % k
+		if !mask[m] && bf.lx[s] != before[s] {
+			t.Fatalf("unmasked lane %d: L[%d] changed", m, s/k)
+		}
+	}
+	for s := range beforeU {
+		m := s % k
+		if !mask[m] && bf.ux[s] != beforeU[s] {
+			t.Fatalf("unmasked lane %d: U[%d] changed", m, s/k)
+		}
+	}
+	// Masked lanes must equal a full refactor of the new values.
+	bf2 := f.NewBatchFactor(k)
+	if err := f.RefactorBatch(bf2, valB2, nil); err != nil {
+		t.Fatal(err)
+	}
+	for s := range bf.lx {
+		if mask[s%k] && bf.lx[s] != bf2.lx[s] {
+			t.Fatalf("masked lane %d: L[%d] differs from full refactor", s%k, s/k)
+		}
+	}
+}
+
+// TestSolveBatchBitIdentical is the satellite-1 property test for the
+// sparse path: SolveBatchInto must reproduce K sequential SolveInto calls
+// bit for bit, masked and unmasked.
+func TestSolveBatchBitIdentical(t *testing.T) {
+	const k = 7
+	a, fill := testSystem(t, 200, 4)
+	fill(a, 1)
+	f, err := NewSparseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, valB := memberVals(a, fill, k)
+	bf := f.NewBatchFactor(k)
+	if err := f.RefactorBatch(bf, valB, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	n := a.Rows
+	rng := rand.New(rand.NewSource(2))
+	lanes := make([]Vector, k)
+	for m := range lanes {
+		lanes[m] = NewVector(n)
+		for i := range lanes[m] {
+			lanes[m][i] = 2*rng.Float64() - 1
+		}
+		// Exercise the yj == 0 skip paths with exact zeros.
+		lanes[m][m] = 0
+		lanes[m][(3*m+11)%n] = 0
+	}
+	b := interleave(lanes, k)
+	dst := make([]float64, n*k)
+	f.SolveBatchInto(dst, b, bf, nil)
+
+	want := make([]Vector, k)
+	for m := 0; m < k; m++ {
+		copy(a.Val, vals[m])
+		if err := f.Refactor(); err != nil {
+			t.Fatal(err)
+		}
+		want[m] = NewVector(n)
+		f.SolveInto(want[m], lanes[m])
+		got := laneOf(dst, m, k, n)
+		for i := range got {
+			if got[i] != want[m][i] {
+				t.Fatalf("member %d: x[%d] = %g, scalar %g", m, i, got[i], want[m][i])
+			}
+		}
+	}
+
+	// Masked solve: only lanes 2 and 5 may change.
+	sentinel := make([]float64, n*k)
+	for i := range sentinel {
+		sentinel[i] = math.Pi
+	}
+	mask := make([]bool, k)
+	mask[2], mask[5] = true, true
+	f.SolveBatchInto(sentinel, b, bf, mask)
+	for i := 0; i < n; i++ {
+		for m := 0; m < k; m++ {
+			got := sentinel[i*k+m]
+			if mask[m] {
+				if got != want[m][i] {
+					t.Fatalf("masked member %d: x[%d] = %g, scalar %g", m, i, got, want[m][i])
+				}
+			} else if got != math.Pi {
+				t.Fatalf("unmasked member %d: dst[%d] overwritten", m, i)
+			}
+		}
+	}
+}
+
+// TestResidualNormBatchBitIdentical checks the fused batched residual
+// against K scalar ResidualNormInto passes, bits and norms.
+func TestResidualNormBatchBitIdentical(t *testing.T) {
+	const k = 4
+	a, fill := testSystem(t, 150, 3)
+	fill(a, 1)
+	vals, valB := memberVals(a, fill, k)
+	n := a.Rows
+	rng := rand.New(rand.NewSource(3))
+	bl := make([]Vector, k)
+	vl := make([]Vector, k)
+	for m := 0; m < k; m++ {
+		bl[m], vl[m] = NewVector(n), NewVector(n)
+		for i := 0; i < n; i++ {
+			bl[m][i] = 2*rng.Float64() - 1
+			vl[m][i] = 2*rng.Float64() - 1
+		}
+	}
+	b, v := interleave(bl, k), interleave(vl, k)
+	dst := make([]float64, n*k)
+	norms := make([]float64, k)
+	a.ResidualNormBatchInto(dst, b, v, valB, k, norms, nil)
+	for m := 0; m < k; m++ {
+		copy(a.Val, vals[m])
+		want := NewVector(n)
+		wantNorm := a.ResidualNormInto(want, bl[m], vl[m])
+		if norms[m] != wantNorm {
+			t.Fatalf("member %d: norm %g, scalar %g", m, norms[m], wantNorm)
+		}
+		for i := range want {
+			if dst[i*k+m] != want[i] {
+				t.Fatalf("member %d: r[%d] = %g, scalar %g", m, i, dst[i*k+m], want[i])
+			}
+		}
+	}
+}
+
+// TestRefinementBatchBitIdentical is the satellite-1 "under stale-factor
+// refinement" case: with a factor computed at stale values, refinement
+// sweeps r = b − A·v; v += M_stale⁻¹·r through the batched kernels must
+// track the scalar sweeps bit for bit, per lane, sweep by sweep.
+func TestRefinementBatchBitIdentical(t *testing.T) {
+	const k, sweeps = 4, 3
+	a, fill := testSystem(t, 150, 3)
+	fill(a, 1)
+	f, err := NewSparseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleVals, staleB := memberVals(a, fill, k)
+	bf := f.NewBatchFactor(k)
+	if err := f.RefactorBatch(bf, staleB, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Drifted current values per member: stale + 2% perturbation.
+	curVals := make([][]float64, k)
+	curB := make([]float64, len(staleB))
+	rng := rand.New(rand.NewSource(5))
+	for m := 0; m < k; m++ {
+		cv := append([]float64(nil), staleVals[m]...)
+		for t := range cv {
+			cv[t] *= 1 + 0.02*(2*rng.Float64()-1)
+		}
+		curVals[m] = cv
+		for t, x := range cv {
+			curB[t*k+m] = x
+		}
+	}
+	n := a.Rows
+	bl := make([]Vector, k)
+	vl := make([]Vector, k)
+	for m := 0; m < k; m++ {
+		bl[m], vl[m] = NewVector(n), NewVector(n)
+		for i := 0; i < n; i++ {
+			bl[m][i] = 2*rng.Float64() - 1
+		}
+	}
+	bb, vb := interleave(bl, k), interleave(vl, k)
+	resB := make([]float64, n*k)
+	delB := make([]float64, n*k)
+	norms := make([]float64, k)
+	// Mask out lane 1 after the first sweep, as the per-lane refinement
+	// control does when a lane converges early.
+	mask := []bool{true, true, true, true}
+	for it := 0; it < sweeps; it++ {
+		if it == 1 {
+			mask[1] = false
+		}
+		a.ResidualNormBatchInto(resB, bb, vb, curB, k, norms, mask)
+		f.SolveBatchInto(delB, resB, bf, mask)
+		for i := 0; i < n; i++ {
+			for m, on := range mask {
+				if on {
+					vb[i*k+m] += delB[i*k+m]
+				}
+			}
+		}
+	}
+	// Scalar replay per lane with its own sweep count.
+	for m := 0; m < k; m++ {
+		copy(a.Val, staleVals[m])
+		if err := f.Refactor(); err != nil {
+			t.Fatal(err)
+		}
+		copy(a.Val, curVals[m])
+		v := NewVector(n)
+		res, del := NewVector(n), NewVector(n)
+		laneSweeps := sweeps
+		if m == 1 {
+			laneSweeps = 1
+		}
+		for it := 0; it < laneSweeps; it++ {
+			a.ResidualNormInto(res, bl[m], v)
+			f.SolveInto(del, res)
+			v.Add(del)
+		}
+		for i := range v {
+			if vb[i*k+m] != v[i] {
+				t.Fatalf("member %d: refined v[%d] = %g, scalar %g", m, i, vb[i*k+m], v[i])
+			}
+		}
+	}
+}
+
+// TestDenseSolveBatchBitIdentical is the satellite-1 dense-path case.
+func TestDenseSolveBatchBitIdentical(t *testing.T) {
+	const n, k = 40, 6
+	rng := rand.New(rand.NewSource(11))
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 2*rng.Float64()-1)
+		}
+		a.Addf(i, i, 10)
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := make([]Vector, k)
+	for m := range lanes {
+		lanes[m] = NewVector(n)
+		for i := range lanes[m] {
+			lanes[m][i] = 2*rng.Float64() - 1
+		}
+	}
+	b := interleave(lanes, k)
+	dst := make([]float64, n*k)
+	f.SolveBatchInto(dst, Vector(b), k)
+	for m := 0; m < k; m++ {
+		want := NewVector(n)
+		f.SolveInto(want, lanes[m])
+		for i := range want {
+			if dst[i*k+m] != want[i] {
+				t.Fatalf("member %d: x[%d] = %g, scalar %g", m, i, dst[i*k+m], want[i])
+			}
+		}
+	}
+}
+
+// TestRefactorBatchZeroAlloc pins the batched kernels to the zero-alloc
+// step budget the hotpath annotation promises.
+func TestBatchKernelsZeroAlloc(t *testing.T) {
+	const k = 8
+	a, fill := testSystem(t, 200, 4)
+	fill(a, 1)
+	f, err := NewSparseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, valB := memberVals(a, fill, k)
+	bf := f.NewBatchFactor(k)
+	b := make([]float64, a.Rows*k)
+	dst := make([]float64, a.Rows*k)
+	norms := make([]float64, k)
+	for i := range b {
+		b[i] = float64(i%17) - 8
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := f.RefactorBatch(bf, valB, nil); err != nil {
+			t.Fatal(err)
+		}
+		f.SolveBatchInto(dst, b, bf, nil)
+		a.ResidualNormBatchInto(dst, b, dst, valB, k, norms, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched kernels allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkBatchLayout is the layout experiment behind the interleaved
+// choice (DESIGN.md "Batched lockstep ensembles"): one refactor+solve
+// over K=16 systems, either through the member-interleaved batch kernels
+// (one symbolic walk, K contiguous lanes per index) or member-major —
+// K sequential scalar passes, each re-walking the symbolic arrays.
+func BenchmarkBatchLayout(b *testing.B) {
+	const k = 16
+	a, fill := testSystem(b, 2000, 6)
+	fill(a, 1)
+	f, err := NewSparseLU(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals, valB := memberVals(a, fill, k)
+	n := a.Rows
+
+	b.Run("interleaved", func(b *testing.B) {
+		bf := f.NewBatchFactor(k)
+		rhs := make([]float64, n*k)
+		dst := make([]float64, n*k)
+		for i := range rhs {
+			rhs[i] = float64(i%13) - 6
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.RefactorBatch(bf, valB, nil); err != nil {
+				b.Fatal(err)
+			}
+			f.SolveBatchInto(dst, rhs, bf, nil)
+		}
+	})
+	b.Run("member-major", func(b *testing.B) {
+		facs := make([]*Factor, k)
+		for m := range facs {
+			facs[m] = f.NewFactor()
+		}
+		rhs := NewVector(n)
+		dst := NewVector(n)
+		for i := range rhs {
+			rhs[i] = float64(i%13) - 6
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < k; m++ {
+				copy(a.Val, vals[m])
+				f.SetFactor(facs[m])
+				if err := f.Refactor(); err != nil {
+					b.Fatal(err)
+				}
+				f.SolveInto(dst, rhs)
+			}
+		}
+	})
+}
+
+// TestSparseMaskDispatchBitIdentical sweeps the mask popcount across the
+// strided/blocked dispatch boundary of all three masked kernels
+// (RefactorBatch, SolveBatchInto, ResidualNormBatchInto), asserting that
+// every masked lane's result is bit-identical to the scalar kernel
+// whichever side handled it, and that unmasked lanes are untouched.
+func TestSparseMaskDispatchBitIdentical(t *testing.T) {
+	const k = 8
+	const n = 120
+	a, fill := testSystem(t, n, 3)
+	fill(a, 1)
+	f, err := NewSparseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, valB := memberVals(a, fill, k)
+
+	rng := rand.New(rand.NewSource(9))
+	lanes := make([]Vector, k)
+	for m := range lanes {
+		lanes[m] = NewVector(n)
+		for i := range lanes[m] {
+			lanes[m][i] = 2*rng.Float64() - 1
+		}
+	}
+	b := interleave(lanes, k)
+
+	// Scalar references per member: factor bits, solve, residual.
+	type ref struct {
+		lx, ux []float64
+		sol    Vector
+		res    Vector
+		norm   float64
+	}
+	refs := make([]ref, k)
+	for m := 0; m < k; m++ {
+		copy(a.Val, vals[m])
+		if err := f.Refactor(); err != nil {
+			t.Fatal(err)
+		}
+		r := ref{
+			lx:  append([]float64(nil), f.lx...),
+			ux:  append([]float64(nil), f.ux...),
+			sol: NewVector(n),
+			res: NewVector(n),
+		}
+		f.SolveInto(r.sol, laneOf(b, m, k, n))
+		r.norm = a.ResidualNormInto(r.res, laneOf(b, m, k, n), r.sol)
+		refs[m] = r
+	}
+
+	for pop := 1; pop <= k; pop++ {
+		mask := make([]bool, k)
+		for _, m := range rng.Perm(k)[:pop] {
+			mask[m] = true
+		}
+		bf := f.NewBatchFactor(k)
+		if err := f.RefactorBatch(bf, valB, mask); err != nil {
+			t.Fatal(err)
+		}
+		sol := make([]float64, n*k)
+		for i := range sol {
+			sol[i] = math.NaN() // sentinel: unmasked lanes must keep it
+		}
+		f.SolveBatchInto(sol, b, bf, mask)
+		resB := make([]float64, n*k)
+		norms := make([]float64, k)
+		a.ResidualNormBatchInto(resB, b, sol, valB, k, norms, mask)
+		for m := 0; m < k; m++ {
+			if !mask[m] {
+				if !math.IsNaN(sol[m]) {
+					t.Fatalf("pop %d: unmasked lane %d solved", pop, m)
+				}
+				continue
+			}
+			for s, want := range refs[m].lx {
+				if got := bf.lx[s*k+m]; math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("pop %d lane %d: L[%d] = %g, scalar %g", pop, m, s, got, want)
+				}
+			}
+			for s, want := range refs[m].ux {
+				if got := bf.ux[s*k+m]; math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("pop %d lane %d: U[%d] = %g, scalar %g", pop, m, s, got, want)
+				}
+			}
+			for i, want := range refs[m].sol {
+				if got := sol[i*k+m]; math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("pop %d lane %d: x[%d] = %g, scalar %g", pop, m, i, got, want)
+				}
+			}
+			for i, want := range refs[m].res {
+				if got := resB[i*k+m]; math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("pop %d lane %d: res[%d] = %g, scalar %g", pop, m, i, got, want)
+				}
+			}
+			if math.Float64bits(norms[m]) != math.Float64bits(refs[m].norm) {
+				t.Fatalf("pop %d lane %d: norm = %g, scalar %g", pop, m, norms[m], refs[m].norm)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package memristor
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -140,5 +141,94 @@ func TestEquilibriumAtBoundariesUnderConstantDrive(t *testing.T) {
 	}
 	if x := integrate(-1); x < 1-1e-6 {
 		t.Fatalf("x(∞) under -v = %v, want 1", x)
+	}
+}
+
+// TestWindowZeroFastPathBitIdentical pins the d == 0 short-circuit in
+// window to the exact value of the exp formula: 1 - e^{-k·0} is exactly
+// 0, so H and DxDt must be bit-identical with and without the fast path
+// over boundary and interior states alike.
+func TestWindowZeroFastPathBitIdentical(t *testing.T) {
+	m := Default()
+	m.K = 20
+	m.Vt = 0.05
+	ref := func(d float64) float64 { return 1 - math.Exp(-m.K*d) }
+	for _, d := range []float64{0, 1e-300, 1e-9, 0.25, 0.5, 1} {
+		if got, want := m.window(d), ref(d); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("window(%v) = %v (%#x), exp formula gives %v (%#x)",
+				d, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()
+		if rng.Intn(4) == 0 { // exercise the clamped boundaries often
+			x = float64(rng.Intn(2))
+		}
+		vM := 2 * (rng.Float64() - 0.5)
+		want := -m.Alpha * func() float64 {
+			if vM > 0 {
+				return ref(x) * m.theta(vM)
+			}
+			if vM < 0 {
+				return ref(1-x) * m.theta(-vM)
+			}
+			return 0
+		}() * m.G(x) * vM
+		if got := m.DxDt(x, vM); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("DxDt(%v, %v) = %v (%#x), want %v (%#x)",
+				x, vM, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestAdvanceRowBitIdentical pins the flattened batch row kernel to the
+// scalar composition Clamp(Clamp(x) + h·DxDt(Clamp(x), σ·d)) bitwise, over
+// hard and soft windows and thresholds, boundary states, and zero drops.
+func TestAdvanceRowBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	models := []Model{
+		Default(), // hard window, Vt = 0 (hard threshold)
+	}
+	soft := Default()
+	soft.Alpha, soft.K, soft.Vt = 0.5, 20, 0.05
+	models = append(models, soft)
+	hardStep := soft
+	hardStep.Step = nil // finite k, hard threshold via nil step
+	models = append(models, hardStep)
+	for mi, m := range models {
+		for trial := 0; trial < 200; trial++ {
+			const k = 7
+			h := 1e-3 * (0.5 + rng.Float64())
+			sigma := 1.0
+			if rng.Intn(2) == 0 {
+				sigma = -1
+			}
+			x := make([]float64, k)
+			d := make([]float64, k)
+			for i := range x {
+				x[i] = rng.Float64()*1.4 - 0.2 // exercise the input clamp
+				if rng.Intn(4) == 0 {
+					x[i] = float64(rng.Intn(2)) // pin boundaries often
+				}
+				d[i] = 2 * (rng.Float64() - 0.5)
+				if rng.Intn(5) == 0 {
+					d[i] = 0
+				}
+			}
+			want := make([]float64, k)
+			for i := range want {
+				xi := Clamp(x[i])
+				want[i] = Clamp(xi + h*m.DxDt(xi, sigma*d[i]))
+			}
+			got := append([]float64(nil), x...)
+			m.AdvanceRow(h, sigma, got, d)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("model %d trial %d lane %d: AdvanceRow %v (%#x), scalar %v (%#x) [x=%v d=%v]",
+						mi, trial, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]), x[i], d[i])
+				}
+			}
+		}
 	}
 }

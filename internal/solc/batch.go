@@ -1,0 +1,312 @@
+package solc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/ode"
+	"repro/internal/par"
+)
+
+// batchEnabled reports whether this solve schedules lockstep batches.
+// A non-nil Observe falls back silently to unbatched attempts: the
+// callback contract is one trajectory at a time.
+func (o Options) batchEnabled() bool {
+	return o.BatchSize > 1 && o.Observe == nil
+}
+
+// batchEligible validates that the portfolio configuration supports the
+// lockstep batch scheduler; incompatible configurations are a
+// configuration error, not a silent fallback, so callers never think
+// they benchmarked batching when they didn't.
+func (pf *Portfolio) batchEligible(opts Options) error {
+	if len(pf.members) != 1 {
+		return fmt.Errorf("solc: BatchSize requires a single-member portfolio, got %d members", len(pf.members))
+	}
+	name := pf.members[0].Stepper
+	if name == "" {
+		name = opts.Stepper
+	}
+	if name != "" && name != "imex" {
+		return fmt.Errorf("solc: BatchSize requires the imex stepper, got %q", name)
+	}
+	if _, ok := pf.compiled[0].Eng.(*circuit.Circuit); !ok {
+		return fmt.Errorf("solc: BatchSize requires the capacitive engine (ModeCapacitive)")
+	}
+	if opts.Dense {
+		return fmt.Errorf("solc: BatchSize does not support the dense-LU fallback")
+	}
+	return nil
+}
+
+// dispatchBatches races ceil(n / BatchSize) lockstep batches on the
+// worker pool. Batch b owns the consecutive attempt indices
+// [b·K, min(n, (b+1)·K)), so the winner policy's index comparisons are
+// exactly the unbatched ones: a batch can be skipped outright when its
+// lowest index can no longer win, and is registered in the cancel map
+// under that lowest index.
+func (pf *Portfolio) dispatchBatches(ictx context.Context, icancel context.CancelFunc, opts Options, parallelism int, st *poolState) {
+	n := opts.MaxAttempts
+	bk := opts.BatchSize
+	nb := (n + bk - 1) / bk
+	par.ForEach(ictx, nb, parallelism, func(_ context.Context, b int) {
+		lo := b * bk
+		hi := lo + bk
+		if hi > n {
+			hi = n
+		}
+		st.mu.Lock()
+		skip := st.firstErr != nil ||
+			(opts.Policy == WinnerLowestAttempt && lo > st.best) ||
+			(opts.Policy == WinnerFirstDone && st.firstWin >= 0)
+		var bctx context.Context
+		if !skip {
+			var bcancel context.CancelFunc
+			bctx, bcancel = context.WithCancel(ictx)
+			st.cancels[lo] = bcancel
+		}
+		st.mu.Unlock()
+		if skip {
+			return
+		}
+
+		err := pf.runBatch(bctx, lo, hi, opts, st, icancel)
+
+		st.mu.Lock()
+		if c, ok := st.cancels[lo]; ok {
+			c()
+			delete(st.cancels, lo)
+		}
+		if err != nil {
+			st.fail(err, icancel)
+		}
+		st.mu.Unlock()
+	})
+}
+
+// runBatch integrates attempts [lo, hi) in lockstep on one shared
+// interleaved state. Each member keeps its scalar identity — the initial
+// condition of attempt idx is drawn from Seed + idx exactly as
+// runAttempt draws it, and each lane's trajectory is bit-identical to
+// the scalar IMEX run (the circuit-level equivalence suite's contract).
+// Members retire individually: convergence, divergence, and cancellation
+// drop a lane from the live mask while the rest of the batch keeps
+// stepping. The step loop mirrors ode.Driver.Run (ladder quantization
+// before TEnd truncation, clamp before verify before the stop
+// condition); the deviations — a failed blocked solve fails the whole
+// batch, and a NaN lane retires instead of retrying with a smaller
+// step — are documented in DESIGN.md.
+func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st *poolState, icancel context.CancelFunc) error {
+	member := pf.members[0]
+	cs := pf.compiled[0]
+	c := cs.Eng.(*circuit.Circuit)
+	k := hi - lo
+
+	be := circuit.NewBatchEngine(c, k)
+	stats := &ode.Stats{}
+	batch := circuit.NewBatchIMEX(be, stats)
+	if opts.FactorCache != 0 {
+		batch.FactorCacheCap = opts.FactorCache
+	}
+	var ladder *ode.HLadder
+	if opts.HLadderRatio > 0 {
+		var err error
+		ladder, err = ode.NewHLadder(opts.HLadderRatio)
+		if err != nil {
+			return err
+		}
+		// Mirror runAttempt: rung revisits refine instead of refactoring.
+		batch.StaleMax = circuit.DefaultStaleMax
+	}
+
+	tl := opts.Telemetry
+	stepObs := tl.StepObs()
+	batch.Obs = stepObs
+	if tl != nil {
+		tl.BatchesLaunched.Inc()
+	}
+	//dmmvet:allow detflow — wall-clock telemetry only (attempt duration in the trace); the trajectory reads only Seed+idx state
+	wallStart := time.Now()
+
+	X := be.NewState()
+	alive := make([]bool, k)
+	laneSteps := make([]int, k)
+	for m := 0; m < k; m++ {
+		alive[m] = true
+		seed := opts.Seed + int64(lo+m)
+		be.InitMember(X, m, rand.New(rand.NewSource(seed)))
+		if tl != nil {
+			tl.AttemptsLaunched.Inc()
+			tl.Emit(obs.Event{Ev: obs.EvLaunched, Attempt: lo + m, Member: member.label(), Seed: seed})
+		}
+	}
+	live := k
+
+	var probe *circuit.BatchPhysicsProbe
+	physEvery := 0
+	if tl != nil {
+		probe = circuit.NewBatchPhysicsProbe(be)
+		physEvery = tl.PhysicsEvery
+		if physEvery <= 0 {
+			physEvery = obs.DefaultPhysicsEvery
+		}
+	}
+	obsStep := 0
+
+	h := opts.H
+	if member.H > 0 {
+		h = member.H
+	}
+	hMin := h * 1e-6
+	tRise := c.Parameters().TRise
+	verify := opts.Verify || invariant.Enabled
+	tNow := 0.0
+
+	// retire ends lane m's run with the caller's classification, records
+	// the attempt record under the pool lock (applying the winner policy
+	// for solved lanes), and emits the terminal telemetry exactly as
+	// runAttempt does for a scalar attempt.
+	retire := func(m int, out attemptOut) {
+		idx := lo + m
+		alive[m] = false
+		live--
+		out.launched = true
+		out.t = tNow
+		out.steps = laneSteps[m]
+		out.fevals = laneSteps[m]
+		out.energy = batch.EnergyLane(m)
+		st.mu.Lock()
+		st.outs[idx] = out
+		if out.solved {
+			st.reportSolved(idx, opts.Policy, icancel)
+		}
+		st.mu.Unlock()
+		if tl == nil {
+			return
+		}
+		tl.FEvals.Add(int64(out.fevals))
+		tl.Energy.Add(out.energy)
+		tl.AttemptWall.Observe(time.Since(wallStart).Seconds())
+		ev := obs.Event{Attempt: idx, Member: member.label(), Seed: opts.Seed + int64(idx),
+			T: out.t, Steps: out.steps, Reason: out.reason}
+		switch {
+		case out.solved:
+			tl.AttemptsConverged.Inc()
+			tl.ConvTime.Observe(out.t)
+			ev.Ev = obs.EvConverged
+		case out.cancelled:
+			tl.AttemptsCancelled.Inc()
+			ev.Ev = obs.EvCancelled
+		default:
+			tl.AttemptsDiverged.Inc()
+			ev.Ev = obs.EvDiverged
+		}
+		tl.Emit(ev)
+	}
+	retireAllLive := func(out attemptOut) {
+		for m := 0; m < k && live > 0; m++ {
+			if alive[m] {
+				retire(m, out)
+			}
+		}
+	}
+
+	for live > 0 {
+		if ctx.Err() != nil {
+			retireAllLive(attemptOut{cancelled: true, reason: "cancelled"})
+			break
+		}
+		if tNow >= opts.TEnd {
+			retireAllLive(attemptOut{reason: "time horizon reached"})
+			break
+		}
+		if opts.Policy == WinnerLowestAttempt {
+			// Lanes above the pool's best solving index can no longer
+			// affect the result; drop them so the batch narrows as the
+			// unbatched pool would cancel.
+			st.mu.Lock()
+			best := st.best
+			st.mu.Unlock()
+			for m := 0; m < k; m++ {
+				if alive[m] && lo+m > best {
+					retire(m, attemptOut{cancelled: true, reason: "cancelled"})
+				}
+			}
+			if live == 0 {
+				break
+			}
+		}
+
+		hTry := h
+		if ladder != nil {
+			if q := ladder.Quantize(hTry); q >= hMin {
+				hTry = q
+			}
+		}
+		if tNow+hTry > opts.TEnd {
+			hTry = opts.TEnd - tNow
+		}
+		if err := batch.StepBatch(tNow, hTry, X, alive); err != nil {
+			// A failed blocked solve (singular shifted matrix) is shared
+			// state: no lane can continue.
+			retireAllLive(attemptOut{reason: fmt.Sprintf("integration failure: %v", err)})
+			break
+		}
+		tNow += hTry
+		obsStep++
+		for m := 0; m < k; m++ {
+			if !alive[m] {
+				continue
+			}
+			laneSteps[m]++
+			stepObs.Accept(hTry)
+			if be.HasNaNLane(X, m) {
+				retire(m, attemptOut{reason: fmt.Sprintf("integration failure: %v", ode.ErrNaNState)})
+			}
+		}
+		if live == 0 {
+			break
+		}
+		be.ClampBatch(X)
+		if probe != nil && obsStep%physEvery == 0 {
+			ps, liveN := probe.SampleBatch(tNow, X, alive)
+			tl.RecordPhysics(ps.SaturatedFrac, ps.MaxDvDt, ps.MaxDxDt, ps.MemHist[:])
+			tl.BatchLive.Set(float64(liveN))
+		}
+		if verify {
+			for m := 0; m < k; m++ {
+				if !alive[m] {
+					continue
+				}
+				if err := be.VerifyMember(tNow, laneSteps[m], X, m); err != nil {
+					retire(m, attemptOut{reason: fmt.Sprintf("integration failure: %v", err)})
+				}
+			}
+			if live == 0 {
+				break
+			}
+		}
+		if tNow <= tRise {
+			continue
+		}
+		// Ascending sweep so simultaneous solves resolve to the lowest
+		// attempt index, matching the deterministic scalar policy.
+		for m := 0; m < k; m++ {
+			if !alive[m] || !be.ConvergedMember(tNow, X, m, opts.ConvTol) {
+				continue
+			}
+			assign := cs.decodeWith(be.Circuit(), tNow, be.Lane(X, m, nil))
+			if cs.BC.Satisfied(assign) && cs.pinsRespected(assign) {
+				retire(m, attemptOut{solved: true, assign: assign, reason: "converged"})
+			} else {
+				retire(m, attemptOut{reason: "decoded assignment failed verification"})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package solc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/la"
+	"repro/internal/obs"
+)
+
+// batchOpts is the production configuration both sides of the batch
+// equivalence suite run under: the quantized step-size ladder with
+// stale-factor refinement, sequential dispatch, and four restart
+// attempts so a K=4 batch covers the whole pool.
+func batchOpts(t *testing.T, seed int64) Options {
+	t.Helper()
+	opts := ladderOpts(t, seed)
+	opts.MaxAttempts = 4
+	return opts
+}
+
+// TestBatchSameAssignment races the identical four seeded attempts
+// through the unbatched scheduler and through one K=4 lockstep batch:
+// because every lane's trajectory is bit-identical to its scalar twin,
+// the two schedulers must agree on the winning attempt, its seed, the
+// decoded gate assignment, and the exact (bitwise) convergence time.
+func TestBatchSameAssignment(t *testing.T) {
+	solve := func(batch int) Result {
+		cs := compileProduct(t, 3, 2, 15)
+		opts := batchOpts(t, 7)
+		opts.BatchSize = batch
+		res, err := cs.Solve(opts)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !res.Solved {
+			t.Fatalf("batch=%d not solved: %s", batch, res.Reason)
+		}
+		return res
+	}
+
+	scalar := solve(0)
+	batched := solve(4)
+
+	if scalar.WinnerAttempt != batched.WinnerAttempt {
+		t.Fatalf("winning attempt differs: scalar %d, batch %d", scalar.WinnerAttempt, batched.WinnerAttempt)
+	}
+	if scalar.WinnerSeed != batched.WinnerSeed {
+		t.Fatalf("winner seed differs: scalar %d, batch %d", scalar.WinnerSeed, batched.WinnerSeed)
+	}
+	if sb, bb := math.Float64bits(scalar.T), math.Float64bits(batched.T); sb != bb {
+		t.Fatalf("winner convergence time not bit-identical: scalar %v (%#x), batch %v (%#x)",
+			scalar.T, sb, batched.T, bb)
+	}
+	if len(scalar.Assignment) != len(batched.Assignment) {
+		t.Fatalf("assignment sizes differ: %d vs %d", len(scalar.Assignment), len(batched.Assignment))
+	}
+	for sig, v := range scalar.Assignment {
+		if batched.Assignment[sig] != v {
+			t.Errorf("signal %v: scalar=%v batch=%v", sig, v, batched.Assignment[sig])
+		}
+	}
+}
+
+// TestBatchSeedDeterminism requires the batch scheduler to be as
+// reproducible as the scalar pool: same-seed reruns, a different batch
+// width (two K=2 batches instead of one K=4), and parallel batch
+// dispatch must all converge on the identical attempt with the identical
+// assignment, because attempt k draws from Seed+k no matter which batch
+// or worker integrates it.
+func TestBatchSeedDeterminism(t *testing.T) {
+	run := func(batch, parallelism int) Result {
+		cs := compileProduct(t, 3, 2, 15)
+		opts := batchOpts(t, 7)
+		opts.BatchSize = batch
+		opts.Parallelism = parallelism
+		res, err := cs.Solve(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solved {
+			t.Fatalf("batch=%d parallelism=%d not solved: %s", batch, parallelism, res.Reason)
+		}
+		return res
+	}
+	a, b := run(4, 1), run(4, 1)
+	halves, racing := run(2, 1), run(2, 4)
+	if a.WinnerAttempt != b.WinnerAttempt {
+		t.Fatalf("same-seed reruns won on different attempts: %d vs %d", a.WinnerAttempt, b.WinnerAttempt)
+	}
+	if math.Float64bits(a.T) != math.Float64bits(b.T) {
+		t.Fatalf("same-seed reruns differ in convergence time: %v vs %v", a.T, b.T)
+	}
+	for _, other := range []Result{b, halves, racing} {
+		if other.WinnerAttempt != a.WinnerAttempt {
+			t.Fatalf("winner drifted across batch shapes: %d vs %d", other.WinnerAttempt, a.WinnerAttempt)
+		}
+		for sig, v := range a.Assignment {
+			if other.Assignment[sig] != v {
+				t.Fatalf("assignment drifted across batch shapes at %v", sig)
+			}
+		}
+	}
+}
+
+// TestBatchEligibility pins the configuration contract: incompatible
+// steppers and the dense fallback fail fast with a configuration error,
+// while a trajectory Observe callback silently reverts to unbatched
+// attempts (and still solves).
+func TestBatchEligibility(t *testing.T) {
+	t.Run("dense rejected", func(t *testing.T) {
+		cs := compileProduct(t, 3, 2, 15)
+		opts := batchOpts(t, 7)
+		opts.BatchSize = 4
+		opts.Dense = true
+		if _, err := cs.Solve(opts); err == nil {
+			t.Fatal("Dense + BatchSize solved without a configuration error")
+		}
+	})
+	t.Run("non-imex rejected", func(t *testing.T) {
+		cs := compileProduct(t, 3, 2, 15)
+		opts := batchOpts(t, 7)
+		opts.BatchSize = 4
+		opts.Stepper = "rk45"
+		if _, err := cs.Solve(opts); err == nil {
+			t.Fatal("rk45 + BatchSize solved without a configuration error")
+		}
+	})
+	t.Run("observe falls back", func(t *testing.T) {
+		cs := compileProduct(t, 3, 2, 15)
+		opts := batchOpts(t, 7)
+		opts.BatchSize = 4
+		observed := 0
+		opts.Observe = func(tm float64, nodeV la.Vector) { observed++ }
+		res, err := cs.Solve(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solved {
+			t.Fatalf("fallback run not solved: %s", res.Reason)
+		}
+		if observed == 0 {
+			t.Fatal("Observe callback never fired on the fallback path")
+		}
+	})
+}
+
+// TestBatchTelemetry checks the batch scheduler feeds the same
+// instrument set the scalar pool does — per-lane lifecycle counters,
+// step and factor metrics — plus the batch-specific dispatch counter.
+func TestBatchTelemetry(t *testing.T) {
+	cs := compileProduct(t, 3, 2, 15)
+	opts := batchOpts(t, 7)
+	opts.BatchSize = 4
+	opts.Telemetry = obs.NewTelemetry()
+	res, err := cs.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("not solved: %s", res.Reason)
+	}
+	tl := opts.Telemetry
+	if got := tl.BatchesLaunched.Value(); got != 1 {
+		t.Fatalf("batches.launched = %d, want 1", got)
+	}
+	if got := tl.AttemptsLaunched.Value(); got != 4 {
+		t.Fatalf("attempts.launched = %d, want 4 (one per lane)", got)
+	}
+	if tl.AttemptsConverged.Value() == 0 {
+		t.Fatal("no converged attempt recorded")
+	}
+	if tl.Steps.Value() == 0 || tl.FEvals.Value() == 0 {
+		t.Fatal("step/feval counters stayed zero")
+	}
+	if tl.Refactors.Value() == 0 {
+		t.Fatal("no blocked refactorization recorded")
+	}
+	if int(tl.AttemptsConverged.Value()+tl.AttemptsCancelled.Value()+tl.AttemptsDiverged.Value()) != res.Launched {
+		t.Fatalf("lifecycle counters (%d conv + %d canc + %d div) don't cover %d launched lanes",
+			tl.AttemptsConverged.Value(), tl.AttemptsCancelled.Value(), tl.AttemptsDiverged.Value(), res.Launched)
+	}
+}

@@ -99,12 +99,63 @@ type attemptOut struct {
 	reason    string
 }
 
+// poolState is the mutable state a Solve run shares across its racing
+// units of work — single attempts, or whole lockstep batches. The map
+// key of cancels is the unit's lowest attempt index (the attempt index
+// itself for single attempts, the batch's first member for batches), so
+// the winner policy's "cancel everything that can no longer win" sweep
+// is the same comparison for both schedulers.
+type poolState struct {
+	mu       sync.Mutex
+	outs     []attemptOut
+	cancels  map[int]context.CancelFunc
+	best     int // lowest solving attempt index seen (WinnerLowestAttempt)
+	firstWin int // first solving attempt observed (WinnerFirstDone)
+	firstErr error
+}
+
+// fail records the first hard error and aborts the whole solve.
+// Callers must hold st.mu.
+func (st *poolState) fail(err error, icancel context.CancelFunc) {
+	if st.firstErr == nil {
+		st.firstErr = err
+		icancel()
+	}
+}
+
+// reportSolved applies the winner policy to a newly solved attempt
+// index: under WinnerFirstDone the first observed win cancels the whole
+// pool; under WinnerLowestAttempt a new lowest index cancels every unit
+// whose attempts are all above it. Callers must hold st.mu.
+func (st *poolState) reportSolved(i int, policy WinnerPolicy, icancel context.CancelFunc) {
+	switch policy {
+	case WinnerFirstDone:
+		if st.firstWin < 0 {
+			st.firstWin = i
+			icancel()
+		}
+	default: // WinnerLowestAttempt
+		if i < st.best {
+			st.best = i
+			for j, c := range st.cancels {
+				if j > i {
+					//dmmvet:allow detflow — cancel is idempotent; which attempts get cancelled depends on the j > i set, not the order
+					c()
+				}
+			}
+		}
+	}
+}
+
 // Solve races up to MaxAttempts restarts across the portfolio members on
 // Options.Parallelism workers. Every attempt k integrates its own cloned
 // engine from the initial condition drawn from Seed + k, so trajectories
 // are reproducible regardless of scheduling; the winner policy decides
 // which verified equilibrium is returned and which running attempts are
-// cancelled (via context) once it can no longer be beaten.
+// cancelled (via context) once it can no longer be beaten. With
+// Options.BatchSize > 1 the portfolio schedules lockstep batches instead
+// of single attempts (see batch.go); member identities, seeds, and the
+// winner policy are preserved.
 func (pf *Portfolio) Solve(opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	//dmmvet:allow detflow — wall-clock telemetry only (Result.Wall); never feeds the trajectory or the winner policy
@@ -130,72 +181,26 @@ func (pf *Portfolio) Solve(opts Options) (Result, error) {
 	}
 	n := opts.MaxAttempts
 
-	var (
-		mu       sync.Mutex
-		outs     = make([]attemptOut, n)
-		cancels  = make(map[int]context.CancelFunc)
-		best     = n  // lowest solving attempt index seen (WinnerLowestAttempt)
-		firstWin = -1 // first solving attempt observed (WinnerFirstDone)
-		firstErr error
-	)
-
-	par.ForEach(ictx, n, parallelism, func(_ context.Context, i int) {
-		mu.Lock()
-		skip := firstErr != nil ||
-			(opts.Policy == WinnerLowestAttempt && i > best) ||
-			(opts.Policy == WinnerFirstDone && firstWin >= 0)
-		var actx context.Context
-		if !skip {
-			var acancel context.CancelFunc
-			actx, acancel = context.WithCancel(ictx)
-			cancels[i] = acancel
-		}
-		mu.Unlock()
-		if skip {
-			return
-		}
-
-		out, err := pf.runAttempt(actx, i, opts)
-
-		mu.Lock()
-		defer mu.Unlock()
-		if c, ok := cancels[i]; ok {
-			c()
-			delete(cancels, i)
-		}
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-				icancel()
-			}
-			return
-		}
-		outs[i] = out
-		if !out.solved {
-			return
-		}
-		switch opts.Policy {
-		case WinnerFirstDone:
-			if firstWin < 0 {
-				firstWin = i
-				icancel()
-			}
-		default: // WinnerLowestAttempt
-			if i < best {
-				best = i
-				for j, c := range cancels {
-					if j > i {
-						//dmmvet:allow detflow — cancel is idempotent; which attempts get cancelled depends on the j > i set, not the order
-						c()
-					}
-				}
-			}
-		}
-	})
-
-	if firstErr != nil {
-		return Result{}, firstErr
+	st := &poolState{
+		outs:     make([]attemptOut, n),
+		cancels:  make(map[int]context.CancelFunc),
+		best:     n,
+		firstWin: -1,
 	}
+
+	if opts.batchEnabled() {
+		if err := pf.batchEligible(opts); err != nil {
+			return Result{}, err
+		}
+		pf.dispatchBatches(ictx, icancel, opts, parallelism, st)
+	} else {
+		pf.dispatchAttempts(ictx, icancel, opts, parallelism, st)
+	}
+
+	if st.firstErr != nil {
+		return Result{}, st.firstErr
+	}
+	outs, best, firstWin := st.outs, st.best, st.firstWin
 
 	res := Result{WinnerAttempt: -1}
 	lastReason := ""
@@ -250,6 +255,44 @@ func (pf *Portfolio) Solve(opts Options) (Result, error) {
 	}
 	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// dispatchAttempts races the n restart attempts one-per-worker: the
+// original scheduling, and the fallback whenever batching is off.
+func (pf *Portfolio) dispatchAttempts(ictx context.Context, icancel context.CancelFunc, opts Options, parallelism int, st *poolState) {
+	par.ForEach(ictx, opts.MaxAttempts, parallelism, func(_ context.Context, i int) {
+		st.mu.Lock()
+		skip := st.firstErr != nil ||
+			(opts.Policy == WinnerLowestAttempt && i > st.best) ||
+			(opts.Policy == WinnerFirstDone && st.firstWin >= 0)
+		var actx context.Context
+		if !skip {
+			var acancel context.CancelFunc
+			actx, acancel = context.WithCancel(ictx)
+			st.cancels[i] = acancel
+		}
+		st.mu.Unlock()
+		if skip {
+			return
+		}
+
+		out, err := pf.runAttempt(actx, i, opts)
+
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if c, ok := st.cancels[i]; ok {
+			c()
+			delete(st.cancels, i)
+		}
+		if err != nil {
+			st.fail(err, icancel)
+			return
+		}
+		st.outs[i] = out
+		if out.solved {
+			st.reportSolved(i, opts.Policy, icancel)
+		}
+	})
 }
 
 // runAttempt integrates restart attempt idx on a freshly cloned engine and
