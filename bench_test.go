@@ -322,6 +322,64 @@ func TestIMEXStepTelemetryZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestIMEXStepSpansFlightZeroAlloc repeats the allocation check with the
+// full deep-observability stack live — span profiler laps, a flight ring
+// fed by the step hooks, and the bookkeeping span the driver charges —
+// pinning the zero-alloc contract of ISSUE 9's instruments.
+func TestIMEXStepSpansFlightZeroAlloc(t *testing.T) {
+	cs := multiplier6()
+	c := cs.Eng.(*circuit.Circuit)
+	x := c.InitialState(rand.New(rand.NewSource(1)))
+	tl := obs.NewTelemetry()
+	tl.Spans = obs.NewSpans()
+	tl.Flight = obs.NewFlightSet(0, 0, nil)
+	fl := tl.FlightFor(0, 2.0)
+	st := circuit.NewIMEX(c, nil)
+	st.Obs = tl.StepObsFor(fl)
+	st.Spans = tl.Spans
+	h := 1e-3
+	if _, err := st.Step(c, 0, h, x); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		if _, err := st.Step(c, float64(i)*h, h, x); err != nil {
+			t.Fatal(err)
+		}
+		tok := st.Obs.SpanBegin()
+		st.Obs.Accept(h)
+		c.ClampState(x)
+		st.Obs.SpanEnd(obs.PhaseBookkeep, tok)
+	})
+	if allocs != 0 {
+		t.Fatalf("spans+flight IMEX step allocates %.1f/op, want 0", allocs)
+	}
+	snap := tl.Spans.Snapshot()
+	if snap == nil || snap.TotalNs <= 0 {
+		t.Fatal("span profiler recorded nothing")
+	}
+	for _, want := range []string{"conductance-fill", "stamp", "solve", "memristor-advance", "bookkeeping"} {
+		found := false
+		for _, ph := range snap.Phases {
+			if ph.Phase == want && ph.Count > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("phase %q recorded no intervals", want)
+		}
+	}
+	if fl.Len() == 0 {
+		t.Fatal("flight ring recorded nothing")
+	}
+	recs := fl.Records()
+	if recs[len(recs)-1].Step != int64(i) {
+		t.Fatalf("flight last step = %d, want %d", recs[len(recs)-1].Step, i)
+	}
+}
+
 // ---- Parallel restart portfolio (internal/solc pool) ----
 
 // BenchmarkParallelRestarts races the same four-restart factorization of

@@ -21,7 +21,12 @@
 // solves — against K independent scalar clones, gates on the aggregate
 // member-steps/sec speedup, 0 allocs/step, one blocked refactor per
 // step-size rung change per batch, and batched-vs-unbatched assignment
-// equivalence, and with -json writes BENCH_imex_batch.json.
+// equivalence, and with -json writes BENCH_imex_batch.json. The
+// imex-spans experiment (spans.go) audits the deep-observability stack —
+// phase-span profiler plus flight recorder — gating hot-loop overhead
+// < 3% versus the uninstrumented baseline and 0 allocs/step, emits the
+// per-phase time breakdown on both the scalar and the lockstep batch
+// scheduler, and with -json writes BENCH_imex_spans.json.
 package main
 
 import (
@@ -49,7 +54,7 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c, imex-sparse, imex-ladder, imex-batch)")
+	exp := flag.String("exp", "all", "experiment id (all, tableI, tableII, fig4, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, info, scaling-factor, scaling-ssp, ensemble, baselines, energy, sat3, diversity, ablation-c, imex-sparse, imex-ladder, imex-batch, imex-spans)")
 	tEnd := flag.Float64("tend", 150, "per-attempt time horizon for dynamical experiments")
 	attempts := flag.Int("attempts", 4, "random restarts per instance")
 	seeds := flag.Int("seeds", 4, "ensemble size for scaling/ensemble experiments")
@@ -60,7 +65,7 @@ func realMain() int {
 	hladder := flag.Float64("hladder", 0, "step-size ladder ratio: quantize h onto the geometric grid ratio^k and reuse cached shifted factors (0 = off; 1.1892 = 2^(1/4) recommended)")
 	factorCache := flag.Int("factor-cache", 0, "IMEX shifted-factor cache capacity in step-size rungs (0 = default 4)")
 	batch := flag.Int("batch", 0, "lockstep ensemble batch width: integrate restart attempts in shared-state batches of this many members (0/1 = unbatched; requires the imex stepper, sparse path)")
-	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse, imex-ladder, imex-batch)")
+	jsonOut := flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json (supported: imex-sparse, imex-ladder, imex-batch, imex-spans)")
 	co := obs.BindFlags("dmm-bench", flag.CommandLine)
 	flag.Parse()
 
@@ -172,6 +177,13 @@ func realMain() int {
 		}
 		if id == "imex-batch" {
 			if err := imexBatch(*jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
+				return true, false
+			}
+			return true, true
+		}
+		if id == "imex-spans" {
+			if err := imexSpans(*jsonOut); err != nil {
 				fmt.Fprintln(os.Stderr, "dmm-bench:", err)
 				return true, false
 			}

@@ -1,0 +1,52 @@
+// ring.go is the flight-recorder-shaped fixture: the seqlock ring's
+// write path — method calls on indexed elements of atomic slices, plus
+// plain single-writer accumulator fields that never touch sync/atomic —
+// must pass clean; copying an atomic element out of the slice must not.
+package atomictest
+
+import "sync/atomic"
+
+type flightRing struct {
+	mask int
+	head atomic.Int64
+	seq  []atomic.Uint64
+	data []atomic.Uint64
+
+	// Single-writer accumulation state: plain on purpose, never mixed
+	// with sync/atomic, so outside the analyzer's contract.
+	t    float64
+	step int64
+}
+
+func (r *flightRing) record(v uint64) {
+	r.step++
+	slot := int(r.head.Load()) & r.mask
+	r.seq[slot].Add(1)
+	r.data[slot].Store(v)
+	r.seq[slot].Add(1)
+	r.head.Add(1)
+}
+
+func (r *flightRing) snapshot() []uint64 {
+	out := make([]uint64, 0, r.mask+1)
+	for i := range r.seq {
+		s1 := r.seq[i].Load()
+		if s1&1 != 0 {
+			continue
+		}
+		v := r.data[i].Load()
+		if r.seq[i].Load() == s1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func tear(r *flightRing) int64 {
+	// Copying the head counter races the writer; an indexed element copy
+	// (r.data[0]) is the documented limitation — slices of atomics are
+	// checked at their method calls, not per element.
+	w := r.head // want `plain access to atomic-typed field r\.head`
+	_ = w
+	return r.head.Load()
+}

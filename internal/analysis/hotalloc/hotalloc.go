@@ -29,9 +29,12 @@
 //     that pruning.
 //   - Calls into packages without loaded syntax (the standard library)
 //     are checked against an allowlist of packages known not to allocate
-//     (math, math/bits, sync/atomic); anything else is reported, so the
-//     analyzer is complete over what it cannot see. Run it over ./... —
-//     a partial package set makes in-repo callees look external.
+//     (math, math/bits, sync/atomic), then against a per-function
+//     allowlist for packages that are not wholesale clean (time.Now and
+//     time.Since — the monotonic clock reads the span profiler's laps
+//     are built on); anything else is reported, so the analyzer is
+//     complete over what it cannot see. Run it over ./... — a partial
+//     package set makes in-repo callees look external.
 package hotalloc
 
 import (
@@ -60,6 +63,15 @@ var cleanPkgs = map[string]bool{
 	"math":        true,
 	"math/bits":   true,
 	"sync/atomic": true,
+}
+
+// cleanFuncs are individual external functions trusted not to allocate
+// even though their package is not wholesale clean. time.Now/time.Since
+// are the monotonic clock reads behind the obs span profiler's per-phase
+// laps: both return by value and touch no heap.
+var cleanFuncs = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
 }
 
 // Both directives are anchored to the comment start (Go directive
@@ -213,7 +225,7 @@ func (w *walker) call(pkg *analysis.Package, call *ast.CallExpr, root string) {
 		if obj.Pkg() != nil {
 			pkgPath = obj.Pkg().Path()
 		}
-		if cleanPkgs[pkgPath] {
+		if cleanPkgs[pkgPath] || cleanFuncs[obj.FullName()] {
 			return
 		}
 		w.mp.Reportf(pkg, call.Pos(),

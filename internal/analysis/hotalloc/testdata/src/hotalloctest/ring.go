@@ -1,0 +1,57 @@
+// ring.go is the flight-recorder-shaped fixture: a seqlock ring write
+// and a span-profiler lap — typed atomics plus monotonic clock reads —
+// must pass clean, while time functions outside the per-function
+// allowlist stay reported.
+package hotalloctest
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+var epoch = time.Now()
+
+type ring struct {
+	mask int
+	head atomic.Int64
+	seq  []atomic.Uint64
+	data []atomic.Uint64
+	t    float64
+	step int64
+}
+
+// record is the obs.Flight.Record write shape: slot selection off the
+// head counter, seqlock open/close around word stores, all through
+// typed atomics. Nothing here may be reported.
+//
+//dmmvet:hotpath
+func (r *ring) record(h float64) {
+	r.t += h
+	r.step++
+	slot := int(r.head.Load()) & r.mask
+	r.seq[slot].Add(1)
+	d := r.data[slot*2 : (slot+1)*2]
+	d[0].Store(uint64(r.step))
+	d[1].Store(math.Float64bits(r.t))
+	r.seq[slot].Add(1)
+	r.head.Add(1)
+}
+
+// lap is the obs.Spans lap shape: time.Since sits on the per-function
+// clean list (monotonic clock read, no heap), so the lap stays silent.
+//
+//dmmvet:hotpath
+func lap(ns *atomic.Int64) int64 {
+	d := time.Since(epoch)
+	ns.Add(int64(d))
+	return int64(d)
+}
+
+// sleepy proves the allowlist is per-function, not package-wide: an
+// unlisted time function on a hot path is still reported.
+//
+//dmmvet:hotpath
+func sleepy() {
+	time.Sleep(time.Nanosecond) // want `call to time\.Sleep on hot path .* not known allocation-free`
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/la"
+	"repro/internal/obs"
 )
 
 // facSlot is one cached numeric factorization of the shifted voltage
@@ -139,6 +140,10 @@ func (s *IMEXStepper) refactorSlot(slot *facSlot, hBits uint64, shift float64, a
 		if err != nil {
 			return err
 		}
+		// Self-time the private clone's Refactor/SolveInto. The shared
+		// symbolic template c.symb keeps a nil hook: it is stepped by
+		// every attempt, and the scalar hot path never solves on it.
+		slu.Spans = s.Spans
 		s.slu = slu
 	}
 	if slot.fac == nil {
@@ -146,7 +151,9 @@ func (s *IMEXStepper) refactorSlot(slot *facSlot, hBits uint64, shift float64, a
 		slot.gAt = la.NewVector(c.nm)
 	}
 	if !assembled {
+		tok := s.Spans.Begin()
 		c.plan.assemble(s.csr.Val, false, shift, s.g)
+		s.Spans.End(obs.PhaseStamp, tok)
 	}
 	s.slu.SetFactor(slot.fac)
 	if err := s.slu.Refactor(); err != nil {
@@ -181,6 +188,7 @@ const refineBail = 0.7
 // caller must refactor and re-solve. Allocation-free: the residual and
 // correction scratch live on the stepper.
 func (s *IMEXStepper) solveRefined() (sweeps int, ok bool) {
+	tok := s.Spans.Begin()
 	// Warm start by quadratic extrapolation of the last three accepted
 	// solutions, v(t+h) ≈ 3v − 3v₋₁ + v₋₂: node voltages move smoothly
 	// at fixed h, so the predicted iterate starts two to three orders
@@ -197,13 +205,18 @@ func (s *IMEXStepper) solveRefined() (sweeps int, ok bool) {
 	for it := 0; ; it++ {
 		r := s.csr.ResidualNormInto(s.resid, s.rhs, s.vNew)
 		if r <= bound {
+			s.Obs.Residual(r)
+			s.Spans.End(obs.PhaseRefine, tok)
 			return it, true
 		}
 		if it >= s.MaxRefine || r > refineBail*prev {
+			s.Spans.End(obs.PhaseRefine, tok)
 			return it, false
 		}
 		prev = r
-		s.slu.SolveInto(s.delta, s.resid)
+		tok = s.Spans.Lap(obs.PhaseRefine, tok)
+		s.slu.SolveInto(s.delta, s.resid) // self-times into PhaseSolve
+		tok = s.Spans.Begin()
 		s.vNew.Add(s.delta)
 	}
 }

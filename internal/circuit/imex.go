@@ -82,6 +82,12 @@ type IMEXStepper struct {
 	// driver's own hook so steps are never double-counted.
 	Obs *obs.StepObs
 
+	// Spans, when non-nil, receives the per-phase lap timings of Step.
+	// The stepper laps around the self-timed SparseLU calls (Refactor,
+	// SolveInto — wired onto its private clone in refactorSlot) so no
+	// interval is ever charged to two phases.
+	Spans *obs.Spans
+
 	// sparse path: private values over the shared pattern, private numeric
 	// factors over the shared symbolic analysis, and the per-rung factor
 	// cache (the active factor is always cache.slots[...].fac installed
@@ -243,10 +249,13 @@ func (s *IMEXStepper) countFactorHit(sweeps int) {
 	s.Obs.Refine(sweeps)
 }
 
-// solveInto solves the factored voltage system.
+// solveInto solves the factored voltage system. Both branches self-time
+// into PhaseSolve (the sparse solver through its own Spans hook).
 func (s *IMEXStepper) solveInto(dst, rhs la.Vector) {
 	if s.Dense {
+		tok := s.Spans.Begin()
 		s.lu.SolveInto(dst, rhs)
+		s.Spans.End(obs.PhaseSolve, tok)
 		return
 	}
 	s.slu.SolveInto(dst, rhs)
@@ -264,6 +273,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 		return 0, fmt.Errorf("circuit: IMEXStepper bound to a different circuit")
 	}
 	p := &c.Params
+	tok := s.Spans.Begin()
 
 	// Conductances for the current memristor states.
 	c.fillConductances(s.g, x, c.xOff())
@@ -279,6 +289,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	for _, pn := range c.pins {
 		s.nodeV[pn.node] = pn.src.V(t + h)
 	}
+	tok = s.Spans.Lap(obs.PhaseCondFill, tok)
 
 	// Factor bookkeeping for (C/h·I + A). The dense path keeps one factor
 	// guarded by needRefactor; the sparse path looks up the per-rung cache
@@ -297,25 +308,33 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 			s.haveFactor = true
 			s.countRefactor()
 		}
+		tok = s.Spans.Lap(obs.PhaseFactor, tok)
 	} else {
 		s.ensureCache()
 		hBits := math.Float64bits(h)
 		slot, hit := s.cache.lookup(hBits)
 		switch s.classifyReuse(slot, hit) {
 		case facRefactor:
+			tok = s.Spans.Lap(obs.PhaseFactor, tok)
+			// refactorSlot self-times: stamp around the assembly, and the
+			// numeric refactorization through the solver's own hook.
 			if err := s.refactorSlot(slot, hBits, shift, false); err != nil {
 				return 0, fmt.Errorf("%w: IMEX voltage system singular: %v", ode.ErrStepFailure, err)
 			}
 			s.countRefactor()
+			tok = s.Spans.Begin()
 		case facExact:
 			s.slu.SetFactor(slot.fac)
 			s.countFactorHit(0)
+			tok = s.Spans.Lap(obs.PhaseFactor, tok)
 		case facRefine:
 			// Assemble the current matrix values now — solveRefined
 			// computes residuals against them — but defer the solve (and
 			// the hit/refactor decision) until the RHS exists.
 			s.slu.SetFactor(slot.fac)
+			tok = s.Spans.Lap(obs.PhaseFactor, tok)
 			c.plan.assemble(s.csr.Val, false, shift, s.g)
+			tok = s.Spans.Lap(obs.PhaseStamp, tok)
 			refineSlot, refineBits = slot, hBits
 		}
 	}
@@ -329,7 +348,10 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	for f := 0; f < c.nv; f++ {
 		s.rhs[f] += shift * x[c.vOff()+f]
 	}
+	tok = s.Spans.Lap(obs.PhaseStamp, tok)
 	if refineSlot != nil {
+		// solveRefined and the fallback calls below self-time their
+		// refine/solve/factor intervals; re-open the running lap after.
 		if sweeps, ok := s.solveRefined(); ok {
 			s.countFactorHit(sweeps)
 			if sweeps >= s.RefreshSweeps {
@@ -353,13 +375,16 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 			s.countRefactor()
 			s.slu.SolveInto(s.vNew, s.rhs)
 		}
+		tok = s.Spans.Begin()
 	} else {
 		// Direct solve: keep the warm-start history one and two steps
 		// behind for the next refined step (solveRefined shifts it
 		// itself).
 		s.vPrev2.CopyFrom(s.vPrev)
 		s.vPrev.CopyFrom(s.vNew)
-		s.solveInto(s.vNew, s.rhs)
+		tok = s.Spans.Lap(obs.PhaseSolve, tok)
+		s.solveInto(s.vNew, s.rhs) // self-times into PhaseSolve
+		tok = s.Spans.Begin()
 	}
 
 	// Updated full node-voltage view.
@@ -421,5 +446,6 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 			return 0, v
 		}
 	}
+	s.Spans.End(obs.PhaseMemAdvance, tok)
 	return 0, nil
 }

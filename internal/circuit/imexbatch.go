@@ -54,6 +54,18 @@ type BatchIMEXStepper struct {
 	// per blocked refactorization event, FactorHit/Refine per member lane.
 	Obs *obs.StepObs
 
+	// Spans, when non-nil, receives the per-phase lap timings of
+	// StepBatch. The batch kernels run on the shared symbolic solver
+	// (whose own Spans hook stays nil), so the stepper's laps are the
+	// only charge — nothing is double-counted.
+	Spans *obs.Spans
+
+	// Flights, when non-nil, holds one flight ring per lane ([k]; nil
+	// entries allowed): the per-lane refine sweeps and residuals feed
+	// the lane's ring, while accepted steps are recorded by the batch
+	// scheduler, which owns accept/reject.
+	Flights []*obs.Flight
+
 	cache batchFacCache
 
 	// Interleaved scratch ([·*k], member index fastest).
@@ -281,6 +293,19 @@ func (s *BatchIMEXStepper) countFactorHit(sweeps int) {
 	s.Obs.Refine(sweeps)
 }
 
+// flightRefine feeds lane m's refine outcome (sweeps applied, final
+// relative-residual norm) into the lane's flight ring, if any.
+//
+//dmmvet:hotpath
+func (s *BatchIMEXStepper) flightRefine(m, sweeps int, resid float64) {
+	if s.Flights == nil {
+		return
+	}
+	fl := s.Flights[m]
+	fl.Refine(sweeps)
+	fl.Residual(resid)
+}
+
 // laneNormInf returns the infinity norm of member m's lane of the
 // interleaved vector b ([n*k]).
 func laneNormInf(b []float64, k, m int) float64 {
@@ -310,6 +335,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 		return fmt.Errorf("circuit: StepBatch alive mask has %d lanes, batch has %d", len(alive), k)
 	}
 	p := &c.Params
+	tok := s.Spans.Begin()
 
 	// Conductances for the current memristor states, all lanes.
 	c.fillConductancesBatch(s.gB, k, X, c.xOff())
@@ -332,6 +358,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 			dst[m] = v
 		}
 	}
+	tok = s.Spans.Lap(obs.PhaseCondFill, tok)
 
 	// Factor bookkeeping for (C/h·I + A): one shared cache lookup (the
 	// lockstep h is the key), then the scalar classifyReuse decision per
@@ -385,12 +412,14 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 	if !anyLive {
 		return fmt.Errorf("circuit: StepBatch called with no live members")
 	}
+	tok = s.Spans.Lap(obs.PhaseFactor, tok)
 
 	// Assemble the current per-lane matrix values whenever any lane
 	// refactors (the factorization source) or refines (the residual
 	// target). Exact-only steps skip assembly, as the scalar path does.
 	if anyRefactor || anyRefine {
 		c.plan.assembleBatch(s.valB, k, shift, s.gB)
+		tok = s.Spans.Lap(obs.PhaseStamp, tok)
 	}
 	if anyRefactor {
 		if err := s.c.symb.RefactorBatch(slot.bf, s.valB, s.refacMask); err != nil {
@@ -401,6 +430,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 		slot.hBits = hBits
 		slot.used = true
 		s.countRefactor()
+		tok = s.Spans.Lap(obs.PhaseFactor, tok)
 	}
 
 	// Right-hand side, all lanes: branch contributions, VCDCG current
@@ -425,6 +455,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 			dst[m] += shift * src[m]
 		}
 	}
+	tok = s.Spans.Lap(obs.PhaseStamp, tok)
 
 	// Direct lanes (fresh or exact factors): shift the warm-start history
 	// and solve in one masked multi-RHS pass.
@@ -444,12 +475,15 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 				s.countFactorHit(0)
 			}
 		}
+		tok = s.Spans.Lap(obs.PhaseSolve, tok)
 	}
 
 	if anyRefine {
+		// solveRefinedBatch self-laps its refine/solve/factor intervals.
 		if err := s.solveRefinedBatch(slot, hBits); err != nil {
 			return err
 		}
+		tok = s.Spans.Begin()
 	}
 
 	// Updated full node-voltage view.
@@ -555,6 +589,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 			}
 		}
 	}
+	s.Spans.End(obs.PhaseMemAdvance, tok)
 	return nil
 }
 
@@ -569,6 +604,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 // directly against the fresh factor.
 func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) error {
 	c, k := s.c, s.k
+	tok := s.Spans.Begin()
 	// Warm start by quadratic extrapolation, fused with the history
 	// shift, per refine lane (bit-identical to solveRefined's loop).
 	for f := 0; f < c.nv; f++ {
@@ -613,10 +649,12 @@ func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) e
 				anyActive = true
 			}
 		}
+		tok = s.Spans.Lap(obs.PhaseRefine, tok)
 		if !anyActive {
 			break
 		}
 		s.c.symb.SolveBatchInto(s.deltaB, s.residB, slot.bf, s.activeM)
+		tok = s.Spans.Lap(obs.PhaseSolve, tok)
 		for f := 0; f < c.nv; f++ {
 			row := f * k
 			for m, on := range s.activeM {
@@ -633,6 +671,7 @@ func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) e
 		}
 		if s.refineOK[m] {
 			s.countFactorHit(s.sweepsB[m])
+			s.flightRefine(m, s.sweepsB[m], s.normsB[m])
 			if s.sweepsB[m] >= s.RefreshSweeps {
 				s.refreshM[m] = true
 				anyRefresh = true
@@ -643,6 +682,7 @@ func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) e
 			anyRefresh = true
 		}
 	}
+	tok = s.Spans.Lap(obs.PhaseRefine, tok)
 	if anyRefresh {
 		// One blocked refresh for every lane past break-even or bailed
 		// out — the current values are already assembled in valB.
@@ -654,6 +694,7 @@ func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) e
 		slot.hBits = hBits
 		slot.used = true
 		s.countRefactor()
+		tok = s.Spans.Lap(obs.PhaseFactor, tok)
 	}
 	anyFallback := false
 	for _, on := range s.fallbackM {
@@ -664,6 +705,8 @@ func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) e
 	}
 	if anyFallback {
 		s.c.symb.SolveBatchInto(s.vNewB, s.rhsB, slot.bf, s.fallbackM)
+		tok = s.Spans.Lap(obs.PhaseSolve, tok)
 	}
+	s.Spans.End(obs.PhaseRefine, tok)
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // SparseLU is a direct solver for sparse square systems whose sparsity
@@ -49,6 +51,13 @@ type SparseLU struct {
 
 	x []float64 // dense scatter workspace (zero between calls)
 	b []float64 // permuted right-hand-side workspace
+
+	// Spans, when set, self-times Refactor (classify/refactor phase) and
+	// SolveInto (solve phase); instrumented callers lap around these
+	// calls so no interval is charged twice. Clones inherit it via the
+	// CloneFor struct copy, so only set it on a solver that is private
+	// to one stepping goroutine — never on the shared symbolic template.
+	Spans *obs.Spans
 }
 
 // NNZFactors returns the stored nonzero count of L and U together
@@ -241,6 +250,7 @@ func (f *SparseLU) SetFactor(nf *Factor) {
 //
 //dmmvet:hotpath
 func (f *SparseLU) Refactor() error {
+	tok := f.Spans.Begin()
 	x, aVal := f.x, f.a.Val
 	aRow, aSrc := f.aRow, f.aSrc
 	liAll, lxAll := f.li, f.lx
@@ -283,6 +293,7 @@ func (f *SparseLU) Refactor() error {
 			x[r] = 0
 		}
 	}
+	f.Spans.End(obs.PhaseFactor, tok)
 	return nil
 }
 
@@ -294,6 +305,7 @@ func (f *SparseLU) SolveInto(dst, b Vector) {
 	if len(b) != f.n || len(dst) != f.n {
 		panic("la: SparseLU.SolveInto length mismatch")
 	}
+	tok := f.Spans.Begin()
 	y := f.b
 	for k := 0; k < f.n; k++ {
 		y[k] = b[f.perm[k]]
@@ -329,6 +341,7 @@ func (f *SparseLU) SolveInto(dst, b Vector) {
 	for k := 0; k < f.n; k++ {
 		dst[f.perm[k]] = y[k]
 	}
+	f.Spans.End(obs.PhaseSolve, tok)
 }
 
 // symmetrizedAdjacency returns the sorted, deduplicated undirected

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
 
 // CmdObs is the shared observability surface of the cmds: the
@@ -25,13 +27,18 @@ type CmdObs struct {
 	metricsDump   bool
 	cpuProfile    string
 	memProfile    string
+	listenAddr    string
+	spans         bool
+	flightPath    string
 
 	// Telemetry is non-nil between Start and Finish whenever any
 	// telemetry flag was given; pass it to solc.Options / core.Config.
 	Telemetry *Telemetry
 
-	cpuFile   *os.File
-	traceFile *os.File
+	cpuFile    *os.File
+	traceFile  *os.File
+	flightFile *os.File
+	server     *Server
 }
 
 // BindFlags registers the shared observability flags on fs and returns
@@ -43,13 +50,16 @@ func BindFlags(prog string, fs *flag.FlagSet) *CmdObs {
 	fs.BoolVar(&co.metricsDump, "metrics-dump", false, "print the final metrics snapshot as indented JSON")
 	fs.StringVar(&co.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&co.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&co.listenAddr, "listen", "", "serve /metrics, /healthz, /debug/phases and /debug/flight on this address for the duration of the run")
+	fs.BoolVar(&co.spans, "spans", false, "profile the IMEX step hot loop by phase and print the breakdown table (included in -metrics-dump JSON)")
+	fs.StringVar(&co.flightPath, "flight", "", "record per-attempt flight rings and dump diverged/cancelled attempts as JSONL to this file")
 	return co
 }
 
 // Enabled reports whether any telemetry output was requested (profiles
 // alone do not count; they need no Telemetry instance).
 func (co *CmdObs) Enabled() bool {
-	return co.telemetryPath != "" || co.metricsDump
+	return co.telemetryPath != "" || co.metricsDump || co.listenAddr != "" || co.spans || co.flightPath != ""
 }
 
 // Start opens the profile and telemetry outputs. On success co.Telemetry
@@ -77,8 +87,46 @@ func (co *CmdObs) Start() error {
 			co.traceFile = f
 			co.Telemetry.Tracer = NewTracer(f)
 		}
+		if co.spans {
+			co.Telemetry.Spans = NewSpans()
+		}
+		if co.flightPath != "" {
+			f, err := os.Create(co.flightPath)
+			if err != nil {
+				co.close()
+				return fmt.Errorf("%s: %w", co.prog, err)
+			}
+			co.flightFile = f
+			co.Telemetry.Flight = NewFlightSet(0, 0, f)
+		} else if co.listenAddr != "" {
+			// No dump sink, but keep rings in memory so /debug/flight
+			// has post-mortem trajectories to serve.
+			co.Telemetry.Flight = NewFlightSet(0, 0, nil)
+		}
+		if co.listenAddr != "" {
+			srv, err := Serve(co.listenAddr, co.Telemetry)
+			if err != nil {
+				co.close()
+				return fmt.Errorf("%s: %w", co.prog, err)
+			}
+			co.server = srv
+			fmt.Fprintf(os.Stderr, "%s: serving telemetry on http://%s\n", co.prog, srv.Addr())
+		}
 	}
 	return nil
+}
+
+// close releases Start's partial state after a mid-Start failure.
+func (co *CmdObs) close() {
+	co.stopCPU()
+	if co.traceFile != nil {
+		co.traceFile.Close()
+		co.traceFile = nil
+	}
+	if co.flightFile != nil {
+		co.flightFile.Close()
+		co.flightFile = nil
+	}
 }
 
 func (co *CmdObs) stopCPU() {
@@ -101,6 +149,14 @@ func (co *CmdObs) Finish(w io.Writer) error {
 		if err := writeHeapProfile(co.memProfile); err != nil {
 			firstErr = fmt.Errorf("%s: %w", co.prog, err)
 		}
+	}
+	if co.server != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := co.server.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: listen: %w", co.prog, err)
+		}
+		cancel()
+		co.server = nil
 	}
 	if co.Telemetry != nil {
 		snap := co.Telemetry.EmitSnapshot()
@@ -125,6 +181,30 @@ func (co *CmdObs) Finish(w io.Writer) error {
 		}
 		if err := snap.WriteSummary(w); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("%s: %w", co.prog, err)
+		}
+		if snap.Spans != nil {
+			if err := snap.Spans.WriteTable(w); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", co.prog, err)
+			}
+		}
+		if snap.Conv != nil {
+			if err := snap.Conv.WriteSummary(w); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", co.prog, err)
+			}
+		}
+		if fs := co.Telemetry.Flight; fs != nil {
+			if err := fs.Err(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%s: flight: %w", co.prog, err)
+			}
+			if co.flightFile != nil {
+				if n := fs.Dumped(); n > 0 {
+					fmt.Fprintf(w, "flight recorder: %d records dumped to %s\n", n, co.flightPath)
+				}
+				if err := co.flightFile.Close(); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s: flight: %w", co.prog, err)
+				}
+				co.flightFile = nil
+			}
 		}
 		if co.validate && co.telemetryPath != "" {
 			if err := co.validateFile(); err != nil && firstErr == nil {

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestConvStatsNilAndEmpty(t *testing.T) {
+	var c *ConvStats
+	c.Observe(1.0)
+	if c.Count() != 0 || c.Snapshot() != nil {
+		t.Fatal("nil ConvStats must be inert")
+	}
+	c = NewConvStats()
+	if c.Snapshot() != nil {
+		t.Fatal("empty ConvStats snapshot must be nil")
+	}
+	var s *ConvSnapshot
+	if err := s.WriteSummary(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvStatsDropsInvalid(t *testing.T) {
+	c := NewConvStats()
+	c.Observe(math.NaN())
+	c.Observe(math.Inf(1))
+	c.Observe(-1)
+	if c.Count() != 0 {
+		t.Fatalf("invalid samples recorded: count = %d", c.Count())
+	}
+	c.Observe(0) // zero is a legal (degenerate) convergence time
+	if c.Count() != 1 {
+		t.Fatalf("zero sample dropped: count = %d", c.Count())
+	}
+}
+
+func TestConvStatsQuantilesAndCCDF(t *testing.T) {
+	c := NewConvStats()
+	for i := 100; i >= 1; i-- { // reversed insert order: Snapshot sorts
+		c.Observe(float64(i))
+	}
+	s := c.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Fatalf("quantiles = p50 %g p90 %g p99 %g, want 50/90/99", s.P50, s.P90, s.P99)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-12 {
+		t.Fatalf("mean = %g, want 50.5", s.Mean)
+	}
+	if len(s.CCDF) == 0 || len(s.CCDF) > ccdfMaxPoints {
+		t.Fatalf("CCDF has %d points, want 1..%d", len(s.CCDF), ccdfMaxPoints)
+	}
+	first, last := s.CCDF[0], s.CCDF[len(s.CCDF)-1]
+	if first.T != 1 || math.Abs(first.P-0.99) > 1e-12 {
+		t.Fatalf("CCDF first point = %+v, want {1, 0.99}", first)
+	}
+	if last.T != 100 || last.P != 0 {
+		t.Fatalf("CCDF last point = %+v, want {100, 0}", last)
+	}
+	for i := 1; i < len(s.CCDF); i++ {
+		if s.CCDF[i].T <= s.CCDF[i-1].T || s.CCDF[i].P > s.CCDF[i-1].P {
+			t.Fatalf("CCDF not monotone at %d: %+v then %+v", i, s.CCDF[i-1], s.CCDF[i])
+		}
+	}
+}
+
+func TestConvStatsTieMerge(t *testing.T) {
+	c := NewConvStats()
+	for i := 0; i < 5; i++ {
+		c.Observe(2.0)
+	}
+	c.Observe(4.0)
+	s := c.Snapshot()
+	if len(s.CCDF) != 2 {
+		t.Fatalf("tied samples must merge: CCDF = %+v", s.CCDF)
+	}
+	// After the five ties at t=2, only the sample at 4 survives: P = 1/6.
+	if s.CCDF[0].T != 2 || math.Abs(s.CCDF[0].P-1.0/6.0) > 1e-12 {
+		t.Fatalf("CCDF[0] = %+v, want {2, 1/6}", s.CCDF[0])
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	if !math.IsNaN(nearestRank(nil, 0.5)) {
+		t.Fatal("empty nearestRank must be NaN")
+	}
+	s := []float64{10}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := nearestRank(s, q); got != 10 {
+			t.Fatalf("single-sample q=%g = %g, want 10", q, got)
+		}
+	}
+}
+
+func TestDecimateCCDF(t *testing.T) {
+	pts := make([]CCDFPoint, 500)
+	for i := range pts {
+		pts[i] = CCDFPoint{T: float64(i), P: float64(len(pts)-1-i) / float64(len(pts))}
+	}
+	out := decimateCCDF(pts, 64)
+	if len(out) != 64 {
+		t.Fatalf("decimated to %d points, want 64", len(out))
+	}
+	if out[0] != pts[0] || out[len(out)-1] != pts[len(pts)-1] {
+		t.Fatal("decimation must keep the extremes")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].T <= out[i-1].T {
+			t.Fatalf("decimated CCDF not strictly increasing in T at %d", i)
+		}
+	}
+	small := pts[:10]
+	if got := decimateCCDF(small, 64); len(got) != 10 {
+		t.Fatalf("under-budget input must pass through, got %d points", len(got))
+	}
+}
+
+func TestConvStatsConcurrent(t *testing.T) {
+	c := NewConvStats()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Observe(float64(w*500+i) * 1e-3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", c.Count())
+	}
+}
+
+func TestConvSnapshotSummary(t *testing.T) {
+	c := NewConvStats()
+	c.Observe(1.5)
+	c.Observe(3.5)
+	var buf bytes.Buffer
+	if err := c.Snapshot().WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"convergence time", "n=2", "min=1.5", "max=3.5", "mean=2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q: %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Refine(3)
+	f.Residual(1e-9)
+	f.Physics(0.5, 2.0)
+	f.Record(1e-3)
+	if f.Len() != 0 || f.Records() != nil {
+		t.Fatal("nil Flight must report empty")
+	}
+	var fs *FlightSet
+	if fs.Attempt(0, 0) != nil {
+		t.Fatal("nil FlightSet must hand out nil rings")
+	}
+	fs.Retire(nil, true)
+	if fs.Dumped() != 0 || fs.Err() != nil {
+		t.Fatal("nil FlightSet must be inert")
+	}
+	if err := fs.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightRecordFields(t *testing.T) {
+	f := newFlight(3, 8, 2.0)
+	f.Refine(2)
+	f.Refine(1)
+	f.Residual(1e-8)
+	f.Physics(0.25, 7.5)
+	f.Record(0.5) // h = ratio^-1 → rung -1
+	f.Record(2.0) // h = ratio^1 → rung 1; pending refines cleared by prior commit
+
+	recs := f.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	r0 := recs[0]
+	if r0.Attempt != 3 || r0.Step != 1 || r0.T != 0.5 || r0.H != 0.5 {
+		t.Fatalf("record 0 = %+v", r0)
+	}
+	if r0.Rung != -1 {
+		t.Fatalf("record 0 rung = %d, want -1 (h=ratio^-1)", r0.Rung)
+	}
+	if r0.Refines != 3 || r0.Residual != 1e-8 {
+		t.Fatalf("record 0 refine state = %+v, want refines 3, residual 1e-8", r0)
+	}
+	if r0.SatFrac != 0.25 || r0.MaxDvDt != 7.5 {
+		t.Fatalf("record 0 physics = %+v", r0)
+	}
+	r1 := recs[1]
+	if r1.Step != 2 || r1.T != 2.5 || r1.Rung != 1 {
+		t.Fatalf("record 1 = %+v, want step 2, t 2.5, rung 1", r1)
+	}
+	if r1.Refines != 0 || r1.Residual != 0 {
+		t.Fatalf("record 1 must have cleared pending refine state: %+v", r1)
+	}
+	if r1.SatFrac != 0.25 {
+		t.Fatalf("physics sample must ride on following records: %+v", r1)
+	}
+}
+
+func TestFlightRingWrap(t *testing.T) {
+	f := newFlight(0, 4, 0)
+	for i := 0; i < 11; i++ {
+		f.Record(1e-3)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", f.Len())
+	}
+	recs := f.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		want := int64(8 + i) // most recent 4 of 11
+		if r.Step != want {
+			t.Fatalf("record %d step = %d, want %d", i, r.Step, want)
+		}
+		if r.Rung != 0 {
+			t.Fatalf("rung without ladder = %d, want 0", r.Rung)
+		}
+	}
+}
+
+func TestFlightWriteZeroAlloc(t *testing.T) {
+	f := newFlight(0, DefaultFlightCap, 2.0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Refine(1)
+		f.Residual(1e-9)
+		f.Record(1e-3)
+	})
+	if allocs != 0 {
+		t.Fatalf("flight write path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestFlightConcurrentReader races the /debug/flight reader against a
+// stepping writer; under -race this proves the seqlock keeps every
+// access on typed atomics, and the dedup/sort keeps dumps monotone.
+func TestFlightConcurrentReader(t *testing.T) {
+	f := newFlight(0, 32, 0)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				recs := f.Records()
+				for i := 1; i < len(recs); i++ {
+					if recs[i].Step <= recs[i-1].Step {
+						t.Errorf("snapshot not strictly increasing: %d then %d",
+							recs[i-1].Step, recs[i].Step)
+						return
+					}
+				}
+			}
+		}
+	}()
+	for i := 0; i < 50_000; i++ {
+		f.Refine(i % 3)
+		f.Record(1e-3)
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestFlightSetRetainAndDump(t *testing.T) {
+	var sink bytes.Buffer
+	fs := NewFlightSet(8, 2, &sink)
+
+	f0 := fs.Attempt(0, 0)
+	f1 := fs.Attempt(1, 0)
+	f2 := fs.Attempt(2, 0) // evicts f0 from the retained window
+	for i, f := range []*Flight{f0, f1, f2} {
+		for s := 0; s <= i; s++ {
+			f.Record(1e-3)
+		}
+	}
+
+	var all bytes.Buffer
+	if err := fs.WriteJSONL(&all); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(all.String(), `"attempt":0`) {
+		t.Fatalf("evicted ring still in /debug/flight payload:\n%s", all.String())
+	}
+	for _, want := range []string{`"attempt":1`, `"attempt":2`} {
+		if !strings.Contains(all.String(), want) {
+			t.Fatalf("payload missing %s:\n%s", want, all.String())
+		}
+	}
+
+	fs.Retire(f1, false) // solved: no dump
+	if fs.Dumped() != 0 || sink.Len() != 0 {
+		t.Fatal("solved retirement must not dump")
+	}
+	fs.Retire(f2, true) // diverged: dump 3 records
+	if fs.Dumped() != 3 {
+		t.Fatalf("dumped = %d, want 3", fs.Dumped())
+	}
+	if err := fs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFlightJSONL(&sink); err != nil {
+		t.Fatalf("dump fails schema validation: %v", err)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestFlightSetSinkErrorSticky(t *testing.T) {
+	fs := NewFlightSet(8, 4, &failWriter{n: 1})
+	f := fs.Attempt(0, 0)
+	f.Record(1e-3)
+	f.Record(1e-3)
+	fs.Retire(f, true)
+	if fs.Err() == nil {
+		t.Fatal("sink error must be reported")
+	}
+	if fs.Dumped() != 1 {
+		t.Fatalf("dumped = %d, want 1 (the line before the failure)", fs.Dumped())
+	}
+}
+
+func TestValidateFlightJSONL(t *testing.T) {
+	good := `{"attempt":0,"step":1,"t":0.001,"h":0.001,"rung":0,"residual":0,"refines":0,"max_dvdt":0,"sat_frac":0}
+{"attempt":1,"step":1,"t":0.002,"h":0.002,"rung":0,"residual":1e-9,"refines":2,"max_dvdt":3,"sat_frac":0.5}
+{"attempt":0,"step":2,"t":0.002,"h":0.001,"rung":0,"residual":0,"refines":0,"max_dvdt":0,"sat_frac":0}
+`
+	if err := ValidateFlightJSONL(strings.NewReader(good)); err != nil {
+		t.Fatalf("good interleaved stream rejected: %v", err)
+	}
+	bad := map[string]string{
+		"empty stream":  "",
+		"unknown field": `{"attempt":0,"step":1,"t":1,"h":1,"bogus":1}` + "\n",
+		"zero step":     `{"attempt":0,"step":0,"t":1,"h":1}` + "\n",
+		"negative h":    `{"attempt":0,"step":1,"t":1,"h":-1}` + "\n",
+		"zero t":        `{"attempt":0,"step":1,"t":0,"h":1}` + "\n",
+		"step not increasing": `{"attempt":0,"step":2,"t":1,"h":1}` + "\n" +
+			`{"attempt":0,"step":2,"t":2,"h":1}` + "\n",
+		"time decreasing": `{"attempt":0,"step":1,"t":5,"h":1}` + "\n" +
+			`{"attempt":0,"step":2,"t":4,"h":1}` + "\n",
+		"negative refines": `{"attempt":0,"step":1,"t":1,"h":1,"refines":-1}` + "\n",
+	}
+	for name, stream := range bad {
+		if err := ValidateFlightJSONL(strings.NewReader(stream)); err == nil {
+			t.Fatalf("%s: invalid stream accepted", name)
+		}
+	}
+}

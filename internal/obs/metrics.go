@@ -210,6 +210,12 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Spans carries the phase-span breakdown when span profiling was
+	// enabled for the run (attached by Telemetry.EmitSnapshot).
+	Spans *SpansSnapshot `json:"spans,omitempty"`
+	// Conv carries the convergence-time aggregate when at least one
+	// attempt converged (attached by Telemetry.EmitSnapshot).
+	Conv *ConvSnapshot `json:"conv,omitempty"`
 }
 
 // HistogramSnapshot is one histogram's state: Counts[i] pairs with upper
@@ -230,15 +236,26 @@ func (h HistogramSnapshot) Mean() float64 {
 }
 
 // Quantile returns the upper bound of the bucket at which the cumulative
-// count reaches q·Count (+Inf when it lands in the overflow bucket, 0 when
-// the histogram is empty).
+// count reaches q·Count. Edge semantics, pinned by test:
+//
+//   - Empty histogram: NaN (there is no data; 0 would be a plausible but
+//     wrong bound for instruments whose range excludes 0).
+//   - q ≤ 0 (or any q landing before the first populated bucket): the
+//     upper bound of the first *populated* bucket — empty leading
+//     buckets are skipped, so a single-bucket histogram reports that
+//     bucket's bound for every q rather than the lowest bound.
+//   - Mass in the overflow bucket (or q ≥ 1 with overflow occupied):
+//     +Inf, the overflow bucket's conceptual upper bound.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 {
-		return 0
+		return math.NaN()
 	}
 	target := q * float64(h.Count)
 	cum := int64(0)
 	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
 		cum += n
 		if float64(cum) >= target {
 			if i < len(h.Bounds) {
@@ -248,6 +265,48 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 		}
 	}
 	return math.Inf(1)
+}
+
+// Delta returns the change from prev to s: counters and histogram counts
+// are subtracted (interval rates for /metrics scrape deltas), gauges keep
+// the current value (last-wins semantics have no meaningful difference).
+// Instruments absent from prev are taken whole; instruments absent from
+// s are dropped. A nil prev yields a copy of s. Spans and Conv attach-
+// ments are not differenced and are left nil on the result.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	d := &Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for n, v := range s.Counters {
+		if prev != nil {
+			v -= prev.Counters[n]
+		}
+		d.Counters[n] = v
+	}
+	for n, v := range s.Gauges {
+		d.Gauges[n] = v
+	}
+	for n, h := range s.Histograms {
+		dh := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.Bounds...),
+			Counts: append([]int64(nil), h.Counts...),
+			Count:  h.Count,
+			Sum:    h.Sum,
+		}
+		if prev != nil {
+			if ph, ok := prev.Histograms[n]; ok && len(ph.Counts) == len(dh.Counts) {
+				for i := range dh.Counts {
+					dh.Counts[i] -= ph.Counts[i]
+				}
+				dh.Count -= ph.Count
+				dh.Sum -= ph.Sum
+			}
+		}
+		d.Histograms[n] = dh
+	}
+	return d
 }
 
 // Snapshot copies every instrument's current state.

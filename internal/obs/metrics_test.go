@@ -54,9 +54,72 @@ func TestHistogramQuantileAndMean(t *testing.T) {
 	if m := snap.Mean(); math.Abs(m-5.0) > 0.01 {
 		t.Fatalf("mean = %g, want ≈5.0", m)
 	}
+	// Edge semantics (documented on Quantile): empty → NaN (no data);
+	// single populated bucket → that bucket's bound for every q, with
+	// empty leading buckets skipped; overflow mass → +Inf.
 	var empty HistogramSnapshot
-	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
-		t.Fatal("empty histogram should report zero quantile and mean")
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatalf("empty quantile = %g, want NaN", empty.Quantile(0.5))
+	}
+	if empty.Mean() != 0 {
+		t.Fatalf("empty mean = %g, want 0", empty.Mean())
+	}
+	single := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{0, 7, 0, 0},
+		Count:  7,
+		Sum:    10.5,
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1} {
+		if got := single.Quantile(q); got != 2 {
+			t.Fatalf("single-bucket q=%g = %g, want bound-clamp to 2", q, got)
+		}
+	}
+	over := HistogramSnapshot{Bounds: []float64{1}, Counts: []int64{0, 3}, Count: 3}
+	if got := over.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("overflow-only q=0.5 = %g, want +Inf", got)
+	}
+}
+
+// TestSnapshotDelta pins the interval-rate helper used by scrape deltas:
+// counters and histogram mass subtract, gauges keep the current value,
+// instruments missing from prev are taken whole.
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2})
+	c.Add(5)
+	g.Set(1.5)
+	h.Observe(0.5)
+	prev := r.Snapshot()
+	c.Add(3)
+	g.Set(9)
+	h.Observe(1.5)
+	h.Observe(0.5)
+	r.Counter("new").Add(2) // absent from prev
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if d.Counters["c"] != 3 {
+		t.Fatalf("counter delta = %d, want 3", d.Counters["c"])
+	}
+	if d.Counters["new"] != 2 {
+		t.Fatalf("new counter delta = %d, want 2 (taken whole)", d.Counters["new"])
+	}
+	if d.Gauges["g"] != 9 {
+		t.Fatalf("gauge delta = %g, want current value 9", d.Gauges["g"])
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 2 || dh.Counts[0] != 1 || dh.Counts[1] != 1 {
+		t.Fatalf("histogram delta = %+v, want 2 observations split 1/1", dh)
+	}
+	if math.Abs(dh.Sum-2.0) > 1e-12 {
+		t.Fatalf("histogram delta sum = %g, want 2.0", dh.Sum)
+	}
+	// nil prev clones the snapshot.
+	if d2 := cur.Delta(nil); d2.Counters["c"] != 8 {
+		t.Fatalf("nil-prev delta counter = %d, want 8", d2.Counters["c"])
 	}
 }
 

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpansNilSafe(t *testing.T) {
+	var sp *Spans
+	tok := sp.Begin()
+	tok = sp.Lap(PhaseStamp, tok)
+	sp.End(PhaseSolve, tok)
+	if sp.Snapshot() != nil {
+		t.Fatal("nil Spans snapshot must be nil")
+	}
+}
+
+func TestSpansAccumulate(t *testing.T) {
+	sp := NewSpans()
+	tok := sp.Begin()
+	tok = sp.Lap(PhaseCondFill, tok)
+	tok = sp.Lap(PhaseSolve, tok)
+	sp.End(PhaseSolve, tok)
+	s := sp.Snapshot()
+	if s == nil || len(s.Phases) != int(NumPhases) {
+		t.Fatalf("snapshot shape wrong: %+v", s)
+	}
+	if got := s.Phases[PhaseCondFill].Count; got != 1 {
+		t.Fatalf("cond-fill intervals = %d, want 1", got)
+	}
+	if got := s.Phases[PhaseSolve].Count; got != 2 {
+		t.Fatalf("solve intervals = %d, want 2", got)
+	}
+	if got := s.Phases[PhaseStamp].Count; got != 0 {
+		t.Fatalf("stamp intervals = %d, want 0", got)
+	}
+	var total int64
+	for _, ph := range s.Phases {
+		total += ph.Ns
+		var hn int64
+		for _, n := range ph.Hist {
+			hn += n
+		}
+		if hn != ph.Count {
+			t.Fatalf("phase %s histogram mass %d != count %d", ph.Phase, hn, ph.Count)
+		}
+	}
+	if total != s.TotalNs {
+		t.Fatalf("TotalNs = %d, phases sum to %d", s.TotalNs, total)
+	}
+}
+
+func TestSpansZeroAlloc(t *testing.T) {
+	sp := NewSpans()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tok := sp.Begin()
+		tok = sp.Lap(PhaseCondFill, tok)
+		tok = sp.Lap(PhaseStamp, tok)
+		sp.End(PhaseMemAdvance, tok)
+	})
+	if allocs != 0 {
+		t.Fatalf("span laps allocate %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpansSnapshotRendering(t *testing.T) {
+	sp := NewSpans()
+	sp.record(PhaseFactor, 2_000_000) // 2 ms into the overflow bucket
+	sp.record(PhaseSolve, 500)
+	s := sp.Snapshot()
+	if got := s.PhaseNs("classify/refactor"); got != 2_000_000 {
+		t.Fatalf("PhaseNs(classify/refactor) = %d, want 2000000", got)
+	}
+	if got := s.PhaseNs("no-such-phase"); got != 0 {
+		t.Fatalf("PhaseNs(missing) = %d, want 0", got)
+	}
+	b, err := s.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpansSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.TotalNs != s.TotalNs {
+		t.Fatalf("round-trip TotalNs = %d, want %d", back.TotalNs, s.TotalNs)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase breakdown", "classify/refactor", "2.000ms", "solve", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanHistogramBuckets(t *testing.T) {
+	sp := NewSpans()
+	sp.record(PhaseSolve, 0)
+	sp.record(PhaseSolve, 250)   // exact bound stays in its bucket
+	sp.record(PhaseSolve, 251)   // next bucket
+	sp.record(PhaseSolve, 1<<40) // overflow
+	sp.record(PhaseSolve, -100)  // clamped to 0
+	h := sp.Snapshot().Phases[PhaseSolve].Hist
+	if h[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want 3 (0, 250, clamped -100)", h[0])
+	}
+	if h[1] != 1 {
+		t.Fatalf("bucket 1 = %d, want 1", h[1])
+	}
+	if h[len(h)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", h[len(h)-1])
+	}
+}

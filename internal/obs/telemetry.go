@@ -17,6 +17,15 @@ type Telemetry struct {
 	// steps (DefaultPhysicsEvery when 0).
 	PhysicsEvery int
 
+	// Spans is the phase-span profiler; nil disables span profiling
+	// (the hot-path laps are nil-receiver safe).
+	Spans *Spans
+	// Flight is the divergence flight recorder; nil disables it.
+	Flight *FlightSet
+	// Conv aggregates convergence times across solved attempts
+	// (always present so the summary can report quantiles/CCDF).
+	Conv *ConvStats
+
 	// Attempt lifecycle.
 	AttemptsLaunched  *Counter
 	AttemptsConverged *Counter
@@ -62,6 +71,7 @@ func NewTelemetry() *Telemetry {
 	return &Telemetry{
 		Registry:          r,
 		PhysicsEvery:      DefaultPhysicsEvery,
+		Conv:              NewConvStats(),
 		AttemptsLaunched:  r.Counter("attempts.launched"),
 		AttemptsConverged: r.Counter("attempts.converged"),
 		AttemptsCancelled: r.Counter("attempts.cancelled"),
@@ -97,10 +107,17 @@ type StepObs struct {
 	refines    *Counter
 	stepSize   *Histogram
 	newton     *Histogram
+	spans      *Spans
+	flight     *Flight
 }
 
 // StepObs returns the hot-path hook set (nil for a nil telemetry).
-func (tl *Telemetry) StepObs() *StepObs {
+func (tl *Telemetry) StepObs() *StepObs { return tl.StepObsFor(nil) }
+
+// StepObsFor returns a hook set feeding the given attempt flight ring
+// alongside the run-wide instruments (nil for a nil telemetry; a nil
+// flight is fine and leaves only the recorder disabled).
+func (tl *Telemetry) StepObsFor(fl *Flight) *StepObs {
 	if tl == nil {
 		return nil
 	}
@@ -112,6 +129,8 @@ func (tl *Telemetry) StepObs() *StepObs {
 		refines:    tl.Refines,
 		stepSize:   tl.StepSize,
 		newton:     tl.NewtonIters,
+		spans:      tl.Spans,
+		flight:     fl,
 	}
 }
 
@@ -124,6 +143,7 @@ func (o *StepObs) Accept(h float64) {
 	}
 	o.steps.Inc()
 	o.stepSize.Observe(h)
+	o.flight.Record(h)
 }
 
 // Reject records one rejected or retried step.
@@ -166,6 +186,51 @@ func (o *StepObs) Refine(n int) {
 		return
 	}
 	o.refines.Add(int64(n))
+	o.flight.Refine(n)
+}
+
+// Residual notes the relative-residual norm of the current step's
+// refined voltage solve for the flight recorder.
+//
+//dmmvet:hotpath
+func (o *StepObs) Residual(r float64) {
+	if o == nil {
+		return
+	}
+	o.flight.Residual(r)
+}
+
+// Physics notes the latest decimated physics-probe sample for the
+// flight recorder.
+//
+//dmmvet:hotpath
+func (o *StepObs) Physics(satFrac, maxDvDt float64) {
+	if o == nil {
+		return
+	}
+	o.flight.Physics(satFrac, maxDvDt)
+}
+
+// SpanBegin opens a phase-span interval (0 without span profiling); it
+// lets code outside the steppers — the ODE driver's accept/reject
+// bookkeeping — lap against the run's Spans without holding it.
+//
+//dmmvet:hotpath
+func (o *StepObs) SpanBegin() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.spans.Begin()
+}
+
+// SpanEnd charges the interval opened by SpanBegin to phase p.
+//
+//dmmvet:hotpath
+func (o *StepObs) SpanEnd(p Phase, tok int64) {
+	if o == nil {
+		return
+	}
+	o.spans.End(p, tok)
 }
 
 // Newton records the Newton iteration count of one implicit step.
@@ -176,6 +241,16 @@ func (o *StepObs) Newton(its int) {
 		return
 	}
 	o.newton.Observe(float64(its))
+}
+
+// FlightFor returns a fresh flight ring for the given attempt index, or
+// nil when the telemetry bundle (or its flight recorder) is disabled —
+// callers thread the result unconditionally.
+func (tl *Telemetry) FlightFor(attempt int, ladderRatio float64) *Flight {
+	if tl == nil {
+		return nil
+	}
+	return tl.Flight.Attempt(attempt, ladderRatio)
 }
 
 // Emit forwards an event to the tracer, if any.
@@ -193,6 +268,8 @@ func (tl *Telemetry) EmitSnapshot() *Snapshot {
 		return nil
 	}
 	s := tl.Registry.Snapshot()
+	s.Spans = tl.Spans.Snapshot()
+	s.Conv = tl.Conv.Snapshot()
 	if tl.Tracer != nil {
 		tl.Tracer.Emit(Event{Ev: EvMetrics, Attempt: -1, Metrics: s})
 	}

@@ -190,16 +190,25 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 		}
 		t += hTry
 		steps++
+		// Accept bookkeeping and the caller's observe/verify/stop hooks
+		// (physics probes, invariant envelopes, convergence predicates)
+		// are the step's out-of-stepper tail; the span profiler charges
+		// them to the bookkeeping phase.
+		btok := d.Obs.SpanBegin()
 		d.Obs.Accept(hTry)
 		if d.Observe != nil {
 			d.Observe(t, x)
 		}
+		var verr error
 		if d.Verify != nil {
-			if err := d.Verify(t, x); err != nil {
-				return Result{T: t, Reason: StopError, Err: err}
-			}
+			verr = d.Verify(t, x)
 		}
-		if d.Stop != nil && d.Stop(t, x) {
+		stop := verr == nil && d.Stop != nil && d.Stop(t, x)
+		d.Obs.SpanEnd(obs.PhaseBookkeep, btok)
+		if verr != nil {
+			return Result{T: t, Reason: StopError, Err: verr}
+		}
+		if stop {
 			return Result{T: t, Reason: StopCondition}
 		}
 	}

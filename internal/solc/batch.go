@@ -129,6 +129,7 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 	batch.Obs = stepObs
 	if tl != nil {
 		tl.BatchesLaunched.Inc()
+		batch.Spans = tl.Spans
 	}
 	//dmmvet:allow detflow — wall-clock telemetry only (attempt duration in the trace); the trajectory reads only Seed+idx state
 	wallStart := time.Now()
@@ -136,15 +137,21 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 	X := be.NewState()
 	alive := make([]bool, k)
 	laneSteps := make([]int, k)
+	// One flight ring per lane (nil entries when the recorder is off —
+	// every write below is nil-safe). The batch goroutine is the single
+	// writer for all of them.
+	flights := make([]*obs.Flight, k)
 	for m := 0; m < k; m++ {
 		alive[m] = true
 		seed := opts.Seed + int64(lo+m)
 		be.InitMember(X, m, rand.New(rand.NewSource(seed)))
+		flights[m] = tl.FlightFor(lo+m, opts.HLadderRatio)
 		if tl != nil {
 			tl.AttemptsLaunched.Inc()
 			tl.Emit(obs.Event{Ev: obs.EvLaunched, Attempt: lo + m, Member: member.label(), Seed: seed})
 		}
 	}
+	batch.Flights = flights
 	live := k
 
 	var probe *circuit.BatchPhysicsProbe
@@ -198,6 +205,7 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 		case out.solved:
 			tl.AttemptsConverged.Inc()
 			tl.ConvTime.Observe(out.t)
+			tl.Conv.Observe(out.t)
 			ev.Ev = obs.EvConverged
 		case out.cancelled:
 			tl.AttemptsCancelled.Inc()
@@ -206,6 +214,7 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 			tl.AttemptsDiverged.Inc()
 			ev.Ev = obs.EvDiverged
 		}
+		tl.Flight.Retire(flights[m], !out.solved)
 		tl.Emit(ev)
 	}
 	retireAllLive := func(out attemptOut) {
@@ -259,17 +268,23 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 		}
 		tNow += hTry
 		obsStep++
+		// Everything after the lockstep step — accept bookkeeping, NaN
+		// triage, clamp, probes, verification, and the convergence
+		// sweep — is the batch path's bookkeeping phase.
+		btok := stepObs.SpanBegin()
 		for m := 0; m < k; m++ {
 			if !alive[m] {
 				continue
 			}
 			laneSteps[m]++
 			stepObs.Accept(hTry)
+			flights[m].Record(hTry)
 			if be.HasNaNLane(X, m) {
 				retire(m, attemptOut{reason: fmt.Sprintf("integration failure: %v", ode.ErrNaNState)})
 			}
 		}
 		if live == 0 {
+			stepObs.SpanEnd(obs.PhaseBookkeep, btok)
 			break
 		}
 		be.ClampBatch(X)
@@ -277,6 +292,13 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 			ps, liveN := probe.SampleBatch(tNow, X, alive)
 			tl.RecordPhysics(ps.SaturatedFrac, ps.MaxDvDt, ps.MaxDxDt, ps.MemHist[:])
 			tl.BatchLive.Set(float64(liveN))
+			for m := 0; m < k; m++ {
+				if alive[m] {
+					// The probe aggregates across live lanes; each ring
+					// carries the batch-wide sample.
+					flights[m].Physics(ps.SaturatedFrac, ps.MaxDvDt)
+				}
+			}
 		}
 		if verify {
 			for m := 0; m < k; m++ {
@@ -288,10 +310,12 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 				}
 			}
 			if live == 0 {
+				stepObs.SpanEnd(obs.PhaseBookkeep, btok)
 				break
 			}
 		}
 		if tNow <= tRise {
+			stepObs.SpanEnd(obs.PhaseBookkeep, btok)
 			continue
 		}
 		// Ascending sweep so simultaneous solves resolve to the lowest
@@ -307,6 +331,7 @@ func (pf *Portfolio) runBatch(ctx context.Context, lo, hi int, opts Options, st 
 				retire(m, attemptOut{reason: "decoded assignment failed verification"})
 			}
 		}
+		stepObs.SpanEnd(obs.PhaseBookkeep, btok)
 	}
 	return nil
 }

@@ -1,0 +1,191 @@
+package solc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFlightDumpOnForcedDivergence is the flight-recorder acceptance
+// check: a time horizon too short to solve forces every attempt to
+// retire unsolved, each retirement dumps its ring as JSONL onto the
+// sink, and the dump passes the schema validator.
+func TestFlightDumpOnForcedDivergence(t *testing.T) {
+	cs := compileProduct(t, 3, 2, 15)
+	var sink bytes.Buffer
+	tl := obs.NewTelemetry()
+	tl.Flight = obs.NewFlightSet(0, 0, &sink)
+	tl.Spans = obs.NewSpans()
+
+	opts := ladderOpts(t, 7)
+	opts.TEnd = 0.5 // far below t* for this instance: forced non-convergence
+	opts.MaxAttempts = 2
+	opts.Telemetry = tl
+
+	res, err := cs.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatal("test premise broken: instance solved before the forced horizon")
+	}
+	if err := tl.Flight.Err(); err != nil {
+		t.Fatalf("flight sink error: %v", err)
+	}
+	if tl.Flight.Dumped() == 0 || sink.Len() == 0 {
+		t.Fatal("unsolved attempts produced no flight dump")
+	}
+	if err := obs.ValidateFlightJSONL(bytes.NewReader(sink.Bytes())); err != nil {
+		t.Fatalf("flight dump fails schema validation: %v\n%s", err, sink.String())
+	}
+
+	// The span profiler ran through the same attempts: the solver phases
+	// must all carry intervals.
+	snap := tl.Spans.Snapshot()
+	if snap == nil {
+		t.Fatal("span profiler recorded nothing")
+	}
+	for _, ph := range snap.Phases {
+		if ph.Count == 0 {
+			t.Fatalf("phase %q recorded no intervals", ph.Phase)
+		}
+	}
+	// The rung labels in the dump must come from the configured ladder
+	// (h is quantized, so at least one record carries a nonzero rung:
+	// h ≈ 1e-3 sits far from rung 0 at h = 1).
+	recs := collectRecords(t, &sink)
+	nonzero := false
+	for _, r := range recs {
+		if r.Rung != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("no record carries a ladder rung label")
+	}
+}
+
+func collectRecords(t *testing.T, buf *bytes.Buffer) []obs.FlightRecord {
+	t.Helper()
+	var out []obs.FlightRecord
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for dec.More() {
+		var rec obs.FlightRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("decode flight dump: %v", err)
+		}
+		out = append(out, rec)
+	}
+	if len(out) == 0 {
+		t.Fatal("no records decoded from flight dump")
+	}
+	return out
+}
+
+// TestFlightSolvedRunDoesNotDump pins the dump condition: solved
+// attempts retire their rings without writing post-mortems, and their
+// convergence times land in the ConvStats aggregate instead.
+func TestFlightSolvedRunDoesNotDump(t *testing.T) {
+	cs := compileProduct(t, 3, 2, 15)
+	var sink bytes.Buffer
+	tl := obs.NewTelemetry()
+	tl.Flight = obs.NewFlightSet(0, 0, &sink)
+
+	opts := ladderOpts(t, 7)
+	opts.MaxAttempts = 1
+	opts.Telemetry = tl
+
+	res, err := cs.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatalf("not solved: %s", res.Reason)
+	}
+	if tl.Flight.Dumped() != 0 || sink.Len() != 0 {
+		t.Fatalf("solved attempt dumped %d flight records", tl.Flight.Dumped())
+	}
+	conv := tl.Conv.Snapshot()
+	if conv == nil || conv.Count != 1 {
+		t.Fatalf("ConvStats = %+v, want exactly the winner's convergence time", conv)
+	}
+	if conv.Min != res.T {
+		t.Fatalf("ConvStats min %g != winner time %g", conv.Min, res.T)
+	}
+}
+
+// TestBatchFlightDump runs the forced-divergence scenario through the
+// lockstep batch scheduler: every lane keeps its own ring, all of them
+// dump on the shared horizon, and the interleaved stream validates.
+func TestBatchFlightDump(t *testing.T) {
+	cs := compileProduct(t, 3, 2, 15)
+	var sink bytes.Buffer
+	tl := obs.NewTelemetry()
+	tl.Flight = obs.NewFlightSet(0, 0, &sink)
+	tl.Spans = obs.NewSpans()
+
+	opts := batchOpts(t, 7)
+	opts.BatchSize = 4
+	opts.TEnd = 0.5
+	opts.Telemetry = tl
+
+	res, err := cs.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Fatal("test premise broken: batch solved before the forced horizon")
+	}
+	if tl.Flight.Dumped() == 0 {
+		t.Fatal("unsolved batch lanes produced no flight dump")
+	}
+	if err := obs.ValidateFlightJSONL(bytes.NewReader(sink.Bytes())); err != nil {
+		t.Fatalf("batch flight dump fails schema validation: %v", err)
+	}
+	// All four lanes must appear in the dump.
+	seen := map[int]bool{}
+	for _, r := range collectRecords(t, &sink) {
+		seen[r.Attempt] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("dump covers %d lanes, want 4: %v", len(seen), seen)
+	}
+	if snap := tl.Spans.Snapshot(); snap == nil || snap.TotalNs == 0 {
+		t.Fatal("batch span profiler recorded nothing")
+	}
+}
+
+// TestBatchSpansMatchScalarShape cross-checks the profiler on the two
+// schedulers: the batch path must charge the same set of phases the
+// scalar path does (every phase nonzero on both), so the breakdown
+// tables are comparable.
+func TestBatchSpansMatchScalarShape(t *testing.T) {
+	run := func(batch int) *obs.SpansSnapshot {
+		cs := compileProduct(t, 3, 2, 15)
+		tl := obs.NewTelemetry()
+		tl.Spans = obs.NewSpans()
+		opts := batchOpts(t, 7)
+		opts.BatchSize = batch
+		opts.Telemetry = tl
+		res, err := cs.Solve(opts)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !res.Solved {
+			t.Fatalf("batch=%d not solved: %s", batch, res.Reason)
+		}
+		return tl.Spans.Snapshot()
+	}
+	scalar, batched := run(0), run(4)
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if scalar.Phases[p].Count == 0 {
+			t.Errorf("scalar path: phase %q recorded no intervals", scalar.Phases[p].Phase)
+		}
+		if batched.Phases[p].Count == 0 {
+			t.Errorf("batch path: phase %q recorded no intervals", batched.Phases[p].Phase)
+		}
+	}
+}

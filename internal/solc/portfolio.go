@@ -345,14 +345,20 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 
 	tl := opts.Telemetry
 	seed := opts.Seed + int64(idx)
+	// One flight ring per attempt: the attempt goroutine is the single
+	// writer (driver hook and stepper hook share it), dumped on
+	// divergence/cancellation below. Nil-safe throughout when the
+	// recorder (or telemetry entirely) is off.
+	fl := tl.FlightFor(idx, opts.HLadderRatio)
 	if tl != nil {
 		tl.AttemptsLaunched.Inc()
 		tl.Emit(obs.Event{Ev: obs.EvLaunched, Attempt: idx, Member: member.label(), Seed: seed})
 		if im, ok := stepper.(*circuit.IMEXStepper); ok {
-			im.Obs = tl.StepObs()
+			im.Obs = tl.StepObsFor(fl)
+			im.Spans = tl.Spans
 		}
 		if tr, ok := stepper.(*ode.Trapezoidal); ok {
-			tr.Obs = tl.StepObs()
+			tr.Obs = tl.StepObsFor(fl)
 		}
 	}
 	//dmmvet:allow detflow — wall-clock telemetry only (attempt duration in the trace); the trajectory reads only Seed+k state
@@ -377,7 +383,7 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 		H:       h, HMax: opts.HMax, Tol: opts.Tol,
 		TEnd:   opts.TEnd,
 		Ctx:    ctx,
-		Obs:    tl.StepObs(),
+		Obs:    tl.StepObsFor(fl),
 		Ladder: ladder,
 		Observe: func(t float64, x la.Vector) {
 			eng.ClampState(x)
@@ -390,6 +396,7 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 				if obsStep%physEvery == 0 {
 					ps := probe.Sample(t, x)
 					tl.RecordPhysics(ps.SaturatedFrac, ps.MaxDvDt, ps.MaxDxDt, ps.MemHist[:])
+					fl.Physics(ps.SaturatedFrac, ps.MaxDvDt)
 				}
 			}
 		},
@@ -447,6 +454,7 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 		case out.solved:
 			tl.AttemptsConverged.Inc()
 			tl.ConvTime.Observe(out.t)
+			tl.Conv.Observe(out.t)
 			ev.Ev = obs.EvConverged
 		case out.cancelled:
 			tl.AttemptsCancelled.Inc()
@@ -455,6 +463,9 @@ func (pf *Portfolio) runAttempt(ctx context.Context, idx int, opts Options) (att
 			tl.AttemptsDiverged.Inc()
 			ev.Ev = obs.EvDiverged
 		}
+		// Post-mortem dump: diverged and cancelled attempts leave their
+		// recent-step trajectory as JSONL on the flight sink.
+		tl.Flight.Retire(fl, !out.solved)
 		tl.Emit(ev)
 	}
 	return out, nil
