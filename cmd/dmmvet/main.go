@@ -13,24 +13,43 @@
 //	goroleak        every entry-point-reachable goroutine has a termination path
 //	lockorder       mutexes released on every warm path; acquisition order acyclic
 //	chandisc        channels close once, never racing senders; hot sends buffered
+//	fparith         hot-path FMA-fusable float products carry an explicit
+//	                rounding barrier (or math.FMA, or a waiver)
+//	kernelpair      //dmmvet:pair scalar/batch kernels have identical
+//	                normalized float op sequences (bit-identity contract)
 //
 // Usage:
 //
-//	dmmvet [-checks floateq,hotalloc,...] [-json] [-stats] [packages]
+//	dmmvet [-checks floateq,hotalloc,...] [-json] [-stats] [-changed ref] [packages]
 //	dmmvet -list
 //	dmmvet -allowlist [packages]
 //
 // Packages default to ./... — run hotalloc over the full module; with a
 // partial package set its call graph treats in-repo callees as external.
+// -changed <git-ref> restricts the findings to files modified since the
+// ref (per git diff --name-only, plus untracked files); a summary line
+// on stderr counts the findings skipped in unchanged files. The full
+// module is still loaded and analyzed — only the report is filtered —
+// so cross-package analyses keep their whole-program precision.
 //
 // Annotation contract:
 //
 //	//dmmvet:hotpath                      (doc comment) marks a function as a
 //	                                      zero-alloc root; hotalloc checks it
-//	                                      and everything statically reachable.
+//	                                      and everything statically reachable,
+//	                                      and fparith sweeps the same region
+//	                                      for unbarriered fusable products.
 //	//dmmvet:coldpath — <why>             (doc comment) stops hotalloc traversal
 //	                                      at an amortized function; the
-//	                                      justification is mandatory.
+//	                                      justification is mandatory. fparith
+//	                                      traverses through it: off-step-path
+//	                                      arithmetic still feeds solver state.
+//	//dmmvet:pair name=<id> role=<r>      (doc comment) declares one member of a
+//	                                      scalar/batch kernel pair (role scalar
+//	                                      or batch); kernelpair proves the two
+//	                                      members' normalized float op sequences
+//	                                      identical under the lane mapping
+//	                                      [j] ↔ [j·K+m].
 //	//dmmvet:allow <analyzer> — <why>     waives one finding on the same or the
 //	                                      following line. An allow without a
 //	                                      justification is itself a finding and
@@ -49,6 +68,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -57,8 +79,10 @@ import (
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/detflow"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/fparith"
 	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/kernelpair"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/nakedgoroutine"
 	"repro/internal/analysis/seeddet"
@@ -72,13 +96,64 @@ func all() []*analysis.Analyzer {
 		ctxfirst.Analyzer,
 		detflow.Analyzer,
 		floateq.Analyzer,
+		fparith.Analyzer,
 		goroleak.Analyzer,
 		hotalloc.Analyzer,
+		kernelpair.Analyzer,
 		lockorder.Analyzer,
 		nakedgoroutine.Analyzer,
 		seeddet.Analyzer,
 		stateclone.Analyzer,
 	}
+}
+
+// changedFiles resolves the set of files modified since ref — tracked
+// changes per `git diff --name-only ref`, plus untracked files — as
+// absolute paths, so findings (whose positions the loader reports
+// relative to the working directory) can be filtered against it.
+func changedFiles(ref string) (map[string]bool, error) {
+	set := make(map[string]bool)
+	for _, args := range [][]string{
+		{"diff", "--name-only", ref},
+		{"ls-files", "--others", "--exclude-standard"},
+	} {
+		out, err := exec.Command("git", args...).Output()
+		if err != nil {
+			return nil, fmt.Errorf("git %s: %v", strings.Join(args, " "), err)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if line = strings.TrimSpace(line); line == "" {
+				continue
+			}
+			abs, err := filepath.Abs(line)
+			if err != nil {
+				continue
+			}
+			set[abs] = true
+		}
+	}
+	return set, nil
+}
+
+// filterChanged splits findings into those in changed files and those
+// skipped, returning the kept findings and the sorted list of files
+// whose findings were dropped.
+func filterChanged(findings []analysis.Finding, changed map[string]bool) (kept []analysis.Finding, skippedFiles []string, skipped int) {
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		abs, err := filepath.Abs(f.Pos.Filename)
+		if err == nil && changed[abs] {
+			kept = append(kept, f)
+			continue
+		}
+		skipped++
+		if !seen[f.Pos.Filename] {
+			seen[f.Pos.Filename] = true
+			skippedFiles = append(skippedFiles, f.Pos.Filename)
+		}
+	}
+	sort.Strings(skippedFiles)
+	return kept, skippedFiles, skipped
 }
 
 func main() {
@@ -87,6 +162,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a stable JSON array")
 	stats := flag.Bool("stats", false, "report per-analyzer finding counts and wall time")
 	allowlist := flag.Bool("allowlist", false, "print every active //dmmvet:allow suppression and exit")
+	changed := flag.String("changed", "", "restrict findings to files modified since this git ref")
 	flag.Parse()
 
 	analyzers := all()
@@ -133,6 +209,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmmvet:", err)
 		os.Exit(2)
+	}
+	if *changed != "" {
+		set, err := changedFiles(*changed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmmvet: -changed:", err)
+			os.Exit(2)
+		}
+		var skippedFiles []string
+		var skipped int
+		findings, skippedFiles, skipped = filterChanged(findings, set)
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "dmmvet: -changed %s: skipped %d finding(s) in %d unchanged file(s): %s\n",
+				*changed, skipped, len(skippedFiles), strings.Join(skippedFiles, ", "))
+		}
 	}
 	switch {
 	case *jsonOut && *stats:

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/fpnorm"
 )
 
 // Analyzer implements the check.
@@ -38,29 +39,8 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// solverPkgs are the import-path segments of the packages under the
-// Seed+k determinism contract.
-var solverPkgs = []string{
-	"internal/circuit",
-	"internal/la",
-	"internal/ode",
-	"internal/solc",
-	"internal/memristor",
-	"internal/device",
-	"internal/solg",
-}
-
-func isSolverPkg(path string) bool {
-	for _, seg := range solverPkgs {
-		if strings.HasSuffix(path, seg) || strings.Contains(path, seg+"/") {
-			return true
-		}
-	}
-	return false
-}
-
 func run(pass *analysis.Pass) error {
-	if !isSolverPkg(pass.Pkg.Path()) {
+	if !fpnorm.IsSolverPkg(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {

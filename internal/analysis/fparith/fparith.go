@@ -1,0 +1,106 @@
+// Package fparith flags FMA-fusable floating-point patterns — `a*b + c`,
+// `a*b - c`, `acc += a*b`, including products that reach the add through
+// intermediate locals — wherever arch-independent results are part of
+// the contract: every function reachable from a `//dmmvet:hotpath` root,
+// and every function in the detflow-protected solver packages.
+//
+// The Go spec permits an implementation to fuse `x*y ± z` into a single
+// fused-multiply-add, possibly across statements. gc takes that license
+// on arm64 (FMADD) and on amd64 with GOAMD64 ≥ v3, but not on baseline
+// amd64 — so the identical source yields bitwise-different trajectories
+// across the fleet, breaking Seed+k reproducibility and the ledger
+// resume contract. The spec's one escape hatch is an explicit
+// floating-point conversion: `float64(a*b) + c` forces the product to
+// round, on every architecture, before the add. On a machine that was
+// not fusing anyway the barrier changes nothing — inserting it is
+// bit-neutral where CI runs and pinning where it doesn't.
+//
+// Every finding therefore demands one of three spellings:
+//
+//	float64(a*b) + c   // explicit rounding barrier: two roundings, everywhere
+//	math.FMA(a, b, c)  // explicit fusion: one rounding, everywhere
+//	//dmmvet:allow fparith — <why this site may differ across architectures>
+//
+// Unlike hotalloc, traversal does NOT stop at `//dmmvet:coldpath`
+// boundaries: an amortized refactorization still feeds the trajectory,
+// so its rounding behavior matters as much as the per-step path's.
+// Functions outside the solver packages and unreachable from any
+// hotpath root are exempt — their results are not under the
+// reproducibility contract.
+package fparith
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/fpnorm"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "fparith",
+	Doc: "flag FMA-fusable a*b±c in hotpath-reachable or solver-package code: " +
+		"fusion is arch-dependent, so demand float64(a*b) barriers, math.FMA, or a justified waiver",
+	RunModule: run,
+}
+
+var hotRe = regexp.MustCompile(`^//dmmvet:hotpath\b`)
+
+func run(mp *analysis.ModulePass) error {
+	cg := cfg.BuildCallGraph(mp.Pkgs)
+	var roots []string
+	rootOf := make(map[string]string) // reached function -> labeling root
+	for _, name := range cg.Names() {
+		node := cg.Node(name)
+		if node.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range node.Decl.Doc.List {
+			if hotRe.MatchString(c.Text) {
+				roots = append(roots, name)
+				break
+			}
+		}
+	}
+	reach := cg.Reachable(roots...)
+	// Label each reached function with its first root in sorted order,
+	// so messages are deterministic.
+	sort.Strings(roots)
+	for _, r := range roots {
+		for name := range cg.Reachable(r) {
+			if _, ok := rootOf[name]; !ok {
+				rootOf[name] = r
+			}
+		}
+	}
+
+	for _, name := range cg.Names() {
+		node := cg.Node(name)
+		var scope string
+		switch {
+		case fpnorm.IsSolverPkg(node.Pkg.ImportPath):
+			scope = fmt.Sprintf("solver package %s", node.Pkg.Types.Name())
+		case reach[name]:
+			scope = fmt.Sprintf("reachable from //dmmvet:hotpath root %s", rootOf[name])
+		default:
+			continue
+		}
+		for _, site := range fpnorm.FuseSites(node.Pkg.TypesInfo, node.Decl) {
+			via := ""
+			if site.ViaName != "" {
+				via = fmt.Sprintf(" (product reaches the add through %s defined at %s)",
+					site.ViaName, node.Pkg.Fset.Position(site.ViaPos))
+			}
+			mp.Reportf(node.Pkg, site.Mul,
+				"FMA-fusable float product feeds the add/sub at %s%s in %s: "+
+					"fusion is architecture-dependent (Go spec §Floating-point operators); "+
+					"write float64(a*b) as an explicit rounding barrier, use math.FMA, "+
+					"or waive with //dmmvet:allow fparith — <why>",
+				node.Pkg.Fset.Position(site.Add), via, scope)
+		}
+	}
+	return nil
+}

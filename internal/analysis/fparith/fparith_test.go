@@ -1,0 +1,20 @@
+package fparith_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fparith"
+)
+
+// TestFParith drives the analyzer over two fixture packages at once: a
+// hotpath-rooted package outside the solver set (scope via call-graph
+// reachability, with barriered, math.FMA, through-local, waived, and
+// cold-exempt shapes) and a package whose import path places it inside
+// internal/la (scope via the solver-package list, no root needed).
+func TestFParith(t *testing.T) {
+	analysistest.RunPkgs(t, fparith.Analyzer, []analysistest.Pkg{
+		{Dir: "testdata/src/fparithtest", ImportPath: "repro/internal/fixture/fparithtest"},
+		{Dir: "testdata/src/fparithsolver", ImportPath: "repro/internal/la/fparithsolver"},
+	})
+}

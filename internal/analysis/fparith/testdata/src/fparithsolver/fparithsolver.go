@@ -1,0 +1,21 @@
+package fparithsolver
+
+// residual is a solver-package inner loop (the fixture type-checks under
+// an import path inside internal/la): in scope with no hotpath root.
+func residual(vals, v, b []float64, idx []int) float64 {
+	s := b[0]
+	for t, val := range vals {
+		s -= val * v[idx[t]] // want `FMA-fusable float product`
+	}
+	return s
+}
+
+// barriered is the fixed spelling: the product rounds explicitly on
+// every architecture before the subtract.
+func barriered(vals, v, b []float64, idx []int) float64 {
+	s := b[0]
+	for t, val := range vals {
+		s -= float64(val * v[idx[t]])
+	}
+	return s
+}

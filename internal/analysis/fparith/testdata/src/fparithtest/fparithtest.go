@@ -1,0 +1,42 @@
+package fparithtest
+
+import "math"
+
+// step is an IMEX-shaped hot kernel: the root pulling everything it
+// calls into fparith's scope.
+//
+//dmmvet:hotpath
+func step(a, b, c float64, xs []float64) float64 {
+	fused := a*b + c // want `FMA-fusable float product`
+	diff := c - a*b  // want `FMA-fusable float product`
+	barrier := float64(a*b) + c
+	explicit := math.FMA(a, b, c)
+	t := a * b // want `product reaches the add through t`
+	through := t + c
+	acc := 0.0
+	for _, x := range xs {
+		acc += x * x // want `FMA-fusable float product`
+	}
+	return fused + diff + barrier + explicit + through + acc + helper(a, b, c)
+}
+
+// helper is reachable from the hotpath root, so it is in scope; the
+// barrier at the definition protects every downstream use.
+func helper(a, b, c float64) float64 {
+	u := float64(a * b)
+	return u + c
+}
+
+// waived keeps a fused shape with a machine-checked justification.
+//
+//dmmvet:hotpath
+func waived(a, b, c float64) float64 {
+	//dmmvet:allow fparith — fixture: fusion accepted on this site to exercise the waiver path
+	return a*b + c
+}
+
+// cold is unreachable from every hotpath root and lives outside the
+// solver packages: fusable shapes here are exempt.
+func cold(a, b, c float64) float64 {
+	return a*b + c
+}

@@ -1,0 +1,332 @@
+package fpnorm
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The fingerprint walker turns a function body into a linear event
+// stream. Loops are transparent — each body is emitted once — so a
+// batch kernel's per-lane loop over the same statements fingerprints
+// identically to its scalar twin's straight-line form, and constants
+// hoisted above a loop land in the same stream positions as the same
+// statements un-hoisted. Both arms of a conditional are emitted after
+// the guard event: what must match across a kernel pair is the complete
+// op structure, not one dynamic path.
+
+func (n *normer) block(ev *env, b *ast.BlockStmt) {
+	for _, s := range b.List {
+		n.stmt(ev, s)
+	}
+}
+
+func (n *normer) stmt(ev *env, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		n.block(ev, s)
+	case *ast.AssignStmt:
+		n.assign(ev, s)
+	case *ast.DeclStmt:
+		n.decl(ev, s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			n.stmt(ev, s.Init)
+		}
+		n.scanExpr(ev, s.Cond)
+		n.block(ev, s.Body)
+		if s.Else != nil {
+			n.stmt(ev, s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			n.stmt(ev, s.Init)
+		}
+		n.scanExpr(ev, s.Cond)
+		n.block(ev, s.Body)
+		if s.Post != nil {
+			n.stmt(ev, s.Post)
+		}
+	case *ast.RangeStmt:
+		// The ranged operand is a pure read; key/value bindings resolve
+		// through the use-def chains.
+		n.block(ev, s.Body)
+	case *ast.ExprStmt:
+		n.scanExpr(ev, s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			n.ret(ev, r)
+		}
+	case *ast.IncDecStmt:
+		if isFloat(typeOf(ev, s.X)) {
+			op := token.ADD
+			if s.Tok == token.DEC {
+				op = token.SUB
+			}
+			tree := &Node{Kind: KBin, Op: op, Pos: s.TokPos, Args: []*Node{
+				n.expr(ev, s.X),
+				{Kind: KConst, Const: "1", Pos: s.TokPos},
+			}}
+			if op == token.ADD {
+				sortCommutative(tree)
+			}
+			n.store(ev, s.X, tree, s.TokPos)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			n.stmt(ev, s.Init)
+		}
+		n.scanExpr(ev, s.Tag)
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				n.scanExpr(ev, e)
+			}
+			for _, bs := range cc.Body {
+				n.stmt(ev, bs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, bs := range cc.Body {
+					n.stmt(ev, bs)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, bs := range cc.Body {
+					n.stmt(ev, bs)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		n.scanExpr(ev, s.Call)
+	case *ast.GoStmt:
+		n.scanExpr(ev, s.Call)
+	case *ast.LabeledStmt:
+		n.stmt(ev, s.Stmt)
+	}
+}
+
+var assignOps = map[token.Token]token.Token{
+	token.ADD_ASSIGN: token.ADD,
+	token.SUB_ASSIGN: token.SUB,
+	token.MUL_ASSIGN: token.MUL,
+	token.QUO_ASSIGN: token.QUO,
+}
+
+func (n *normer) assign(ev *env, s *ast.AssignStmt) {
+	if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				n.assignOne(ev, s.Lhs[i], s.Rhs[i])
+			}
+		} else {
+			for _, r := range s.Rhs {
+				n.scanExpr(ev, r) // multi-value call
+			}
+		}
+		return
+	}
+	op, known := assignOps[s.Tok]
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	if known && isFloat(typeOf(ev, lhs)) {
+		tree := &Node{Kind: KBin, Op: op, Pos: s.TokPos, Args: []*Node{
+			n.expr(ev, lhs), n.expr(ev, rhs),
+		}}
+		if op == token.ADD || op == token.MUL {
+			sortCommutative(tree)
+		}
+		n.store(ev, lhs, tree, s.TokPos)
+		return
+	}
+	n.scanExpr(ev, rhs)
+}
+
+func (n *normer) decl(ev *env, s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i < len(vs.Values) {
+				n.assignOne(ev, name, vs.Values[i])
+			}
+		}
+	}
+}
+
+// assignOne handles one lhs = rhs pairing. Float stores with arithmetic
+// behind them become EvStore; bare call results become EvCall (the
+// destination is dropped — see EvCall); pure copies and constant stores
+// are elided as bit-exact. Non-float right-hand sides are scanned for
+// embedded guards and float-relevant calls.
+func (n *normer) assignOne(ev *env, lhs, rhs ast.Expr) {
+	if isFloat(typeOf(ev, rhs)) {
+		if n.isPureValue(ev, rhs) {
+			n.aliasCopy(ev, lhs, rhs)
+			return // bit-exact copy or constant store: elided
+		}
+		tree := n.expr(ev, rhs)
+		switch {
+		case tree.Kind == KCall:
+			n.events = append(n.events, Event{Kind: EvCall, Target: -1, Tree: tree, Pos: rhs.Pos()})
+		case trivial(tree):
+			// unmodeled value: nothing comparable to record
+		default:
+			n.store(ev, lhs, tree, rhs.Pos())
+		}
+		return
+	}
+	n.scanExpr(ev, rhs)
+}
+
+// isPureValue reports whether e is a bare value root or a constant — no
+// float op behind it. The check runs BEFORE normalization (rootKey
+// interns nothing), so an elided hoisted copy (`a := s.a[j]`) does not
+// perturb the positional symbol numbering a twin without the hoist
+// would assign.
+func (n *normer) isPureValue(ev *env, e ast.Expr) bool {
+	if tv, ok := ev.pkg.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	_, _, st := n.rootKey(ev, e)
+	return st == rootOK
+}
+
+func trivial(tree *Node) bool {
+	switch tree.Kind {
+	case KLoad, KConst, KWild:
+		return true
+	}
+	return false
+}
+
+func (n *normer) store(ev *env, lhs ast.Expr, tree *Node, pos token.Pos) {
+	tgt := -1
+	if key, name, st := n.rootKey(ev, lhs); st == rootOK {
+		tgt = n.symID(key, name)
+	}
+	n.events = append(n.events, Event{Kind: EvStore, Target: tgt, Tree: tree, Pos: pos})
+}
+
+func (n *normer) ret(ev *env, r ast.Expr) {
+	if isFloat(typeOf(ev, r)) {
+		if n.isPureValue(ev, r) {
+			return // returning a pure value: invisible, like the elided
+			// copy — the batch twin stores the same value into a lane slot.
+		}
+		tree := n.expr(ev, r)
+		switch {
+		case tree.Kind == KCall:
+			n.events = append(n.events, Event{Kind: EvCall, Target: -1, Tree: tree, Pos: r.Pos()})
+		case trivial(tree):
+			// unmodeled value: nothing comparable to record
+		default:
+			n.events = append(n.events, Event{Kind: EvRet, Target: -1, Tree: tree, Pos: r.Pos()})
+		}
+		return
+	}
+	n.scanExpr(ev, r)
+}
+
+// scanExpr surfaces the float-visible parts of a non-float-valued
+// expression: float comparisons become guard events, float-relevant
+// calls become call events, and stray float arithmetic (feeding an int
+// conversion, say) becomes an anonymous store event. Everything else —
+// integer index math, bool plumbing — is invisible.
+func (n *normer) scanExpr(ev *env, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if isCmpTok(x.Op) && isFloat(typeOf(ev, x.X)) {
+				n.events = append(n.events, Event{Kind: EvGuard, Target: -1, Tree: n.cmp(ev, x), Pos: x.OpPos})
+				return false
+			}
+			if isFloat(typeOf(ev, x)) {
+				if tree := n.expr(ev, x); !trivial(tree) {
+					n.events = append(n.events, Event{Kind: EvStore, Target: -1, Tree: tree, Pos: x.Pos()})
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if tv, ok := ev.pkg.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+				return true // conversion: scan the operand
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := ev.pkg.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true // len/cap/copy never round a float; scan operands
+				}
+			}
+			if n.floatRelevant(ev, x) {
+				n.events = append(n.events, Event{Kind: EvCall, Target: -1, Tree: n.call(ev, x), Pos: x.Pos()})
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// floatRelevant reports whether a call touches float data — through its
+// result, an argument, or a method receiver. Struct fields are not
+// unwrapped: telemetry calls carrying opaque records stay invisible.
+func (n *normer) floatRelevant(ev *env, c *ast.CallExpr) bool {
+	info := ev.pkg.TypesInfo
+	if tv, ok := info.Types[c]; ok && floatish(tv.Type, 0) {
+		return true
+	}
+	for _, a := range c.Args {
+		if floatish(typeOf(ev, a), 0) {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if floatish(s.Recv(), 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// floatish unwraps pointers, slices, arrays, and tuples looking for a
+// float element. Named types unwrap through their underlying type.
+func floatish(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Pointer:
+		return floatish(u.Elem(), depth+1)
+	case *types.Slice:
+		return floatish(u.Elem(), depth+1)
+	case *types.Array:
+		return floatish(u.Elem(), depth+1)
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if floatish(u.At(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

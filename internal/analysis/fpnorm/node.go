@@ -1,0 +1,207 @@
+package fpnorm
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Kind discriminates normal-form nodes.
+type Kind int
+
+const (
+	// KConst is a folded typed constant, stored as its exact value.
+	KConst Kind = iota
+	// KLoad is a read of a canonical value root; index expressions are
+	// collapsed (the lane-index mapping).
+	KLoad
+	// KBin is a binary arithmetic op; + and * keep operands sorted.
+	KBin
+	// KNeg is unary minus (sign flip: exact, but kept — it changes the
+	// value, unlike operand order).
+	KNeg
+	// KConv is an explicit conversion. Around arithmetic of the same
+	// float type it is the rounding barrier the Go spec honors; across
+	// types it is a real rounding/truncation op.
+	KConv
+	// KCall is an opaque call: an external single-rounding intrinsic, a
+	// multi-statement in-module function, or a registered pair member
+	// (callee "pair:<name>").
+	KCall
+	// KCmp is a float comparison (guard), canonicalized to < <= == !=
+	// with ==/!= operands sorted.
+	KCmp
+	// KWild is an unmodeled value; it compares equal only to KWild.
+	KWild
+)
+
+// Node is one normal-form tree node.
+type Node struct {
+	Kind   Kind
+	Op     token.Token // KBin, KCmp
+	Sym    int         // KLoad: canonical symbol id (first-use order)
+	Const  string      // KConst: exact value (go/constant ExactString)
+	Callee string      // KCall: canonical callee; KConv: destination key
+	Args   []*Node
+	Pos    token.Pos // source anchor, for diff reporting
+}
+
+// Compare orders nodes structurally (position excluded): the total order
+// behind commutative operand sorting. 0 means semantically equal.
+func Compare(a, b *Node) int {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return -1
+	case b == nil:
+		return 1
+	}
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	if a.Op != b.Op {
+		return int(a.Op) - int(b.Op)
+	}
+	if a.Sym != b.Sym {
+		return a.Sym - b.Sym
+	}
+	if c := strings.Compare(a.Const, b.Const); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.Callee, b.Callee); c != 0 {
+		return c
+	}
+	if d := len(a.Args) - len(b.Args); d != 0 {
+		return d
+	}
+	for i := range a.Args {
+		if c := Compare(a.Args[i], b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Equal reports structural equality of two trees.
+func Equal(a, b *Node) bool { return Compare(a, b) == 0 }
+
+// Render writes the tree as a compact S-expression, resolving symbol ids
+// through syms (display names from the owning Fingerprint). Out-of-range
+// ids print as #n.
+func (n *Node) Render(syms []string) string {
+	var sb strings.Builder
+	n.render(&sb, syms)
+	return sb.String()
+}
+
+func (n *Node) render(sb *strings.Builder, syms []string) {
+	if n == nil {
+		sb.WriteString("?")
+		return
+	}
+	switch n.Kind {
+	case KConst:
+		sb.WriteString(n.Const)
+	case KLoad:
+		if n.Sym >= 0 && n.Sym < len(syms) {
+			sb.WriteString(syms[n.Sym])
+		} else {
+			fmt.Fprintf(sb, "#%d", n.Sym)
+		}
+	case KBin, KCmp:
+		fmt.Fprintf(sb, "(%s", n.Op)
+		for _, a := range n.Args {
+			sb.WriteString(" ")
+			a.render(sb, syms)
+		}
+		sb.WriteString(")")
+	case KNeg:
+		sb.WriteString("(neg ")
+		n.Args[0].render(sb, syms)
+		sb.WriteString(")")
+	case KConv:
+		fmt.Fprintf(sb, "(conv:%s ", n.Callee)
+		n.Args[0].render(sb, syms)
+		sb.WriteString(")")
+	case KCall:
+		fmt.Fprintf(sb, "(%s", n.Callee)
+		for _, a := range n.Args {
+			sb.WriteString(" ")
+			a.render(sb, syms)
+		}
+		sb.WriteString(")")
+	case KWild:
+		sb.WriteString("_")
+	}
+}
+
+// EventKind discriminates fingerprint events.
+type EventKind int
+
+const (
+	// EvStore: a float value with at least one op behind it was written.
+	// Pure copies and constant stores are elided — they are bit-exact.
+	EvStore EventKind = iota
+	// EvCall: an opaque float-relevant call ran for effect (or its
+	// result was stored; the destination of a bare call result is
+	// dropped so `x[j] = m.Advance(…)` and `m.AdvanceRow(…)` mutating
+	// in place fingerprint alike — the operand roots still compare).
+	EvCall
+	// EvGuard: a float comparison steered control flow. Data-dependent
+	// branch structure (the d==0 exact fast path) must match across a
+	// pair even though both arms are walked.
+	EvGuard
+	// EvRet: a non-trivial float expression was returned.
+	EvRet
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStore:
+		return "store"
+	case EvCall:
+		return "call"
+	case EvGuard:
+		return "guard"
+	case EvRet:
+		return "ret"
+	}
+	return "?"
+}
+
+// Event is one element of a function's float-op fingerprint.
+type Event struct {
+	Kind   EventKind
+	Target int // EvStore: canonical symbol of the destination, -1 unknown
+	Tree   *Node
+	Pos    token.Pos
+}
+
+// EventEqual compares two events structurally (positions excluded).
+func EventEqual(a, b Event) bool {
+	return a.Kind == b.Kind && a.Target == b.Target && Equal(a.Tree, b.Tree)
+}
+
+// Render writes the event compactly for diff messages.
+func (e Event) Render(syms []string) string {
+	switch e.Kind {
+	case EvStore:
+		tgt := "_"
+		if e.Target >= 0 && e.Target < len(syms) {
+			tgt = syms[e.Target]
+		}
+		return fmt.Sprintf("store %s ← %s", tgt, e.Tree.Render(syms))
+	default:
+		return fmt.Sprintf("%s %s", e.Kind, e.Tree.Render(syms))
+	}
+}
+
+// Fingerprint is the normalized float-op event stream of one function.
+type Fingerprint struct {
+	Events []Event
+	// Syms maps canonical symbol ids (assigned in first-use order) to
+	// display names for rendering diffs. Names are side-local — only the
+	// positional ids take part in comparison.
+	Syms []string
+}

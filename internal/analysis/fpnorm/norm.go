@@ -1,0 +1,477 @@
+package fpnorm
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// maxInlineDepth bounds single-expression inlining so mutually recursive
+// accessors cannot loop the normalizer.
+const maxInlineDepth = 4
+
+// normer normalizes one function. It owns the positional symbol table
+// and the event stream; env carries the package whose TypesInfo types
+// the expressions currently being walked (it changes when a callee body
+// is inlined) plus parameter substitutions.
+type normer struct {
+	mod     *Module
+	copies  map[*types.Var][]localDef // copy-only defs of the top function
+	syms    map[string]int
+	alias   map[string]string // scratch-buffer root -> copied value root
+	names   []string
+	events  []Event
+	chasing map[*types.Var]bool
+	depth   int
+}
+
+type env struct {
+	pkg   *analysis.Package
+	binds map[types.Object]bind
+}
+
+// bind is one parameter substitution during inlining: the caller-side
+// argument expression with the env to normalize it under, plus — when
+// the argument is a pure value root — its key and display name, so
+// selector chains through the parameter (receiver fields) keep
+// resolving to caller-side roots. Normalization is lazy, at the
+// parameter's first use inside the body: positional symbol ids must
+// follow body-use order, or an inlined accessor would intern its
+// receiver and arguments in call order and diverge from a manually
+// inlined twin.
+type bind struct {
+	argExpr ast.Expr
+	argEnv  *env
+	key     string
+	name    string
+}
+
+// rootKey resolution status.
+const (
+	rootOK    = iota // key/name valid
+	rootCycle        // hit a variable already being chased (self-redefinition)
+	rootFail         // expression is not a pure value root
+)
+
+// symID interns a root key, assigning canonical ids in first-use order.
+// Keys resolve through the copy-alias table first: a scratch buffer
+// filled by an elided pure copy (`drow[m] = d` before an AdvanceRow
+// call) reads as the value it carries, so a batch kernel staging a
+// local through a reusable row buffer fingerprints identically to the
+// scalar twin passing the local directly.
+func (n *normer) symID(key, name string) int {
+	for i := 0; i < 8; i++ { // bounded: aliases could in principle cycle
+		next, ok := n.alias[key]
+		if !ok {
+			break
+		}
+		key = next
+	}
+	if id, ok := n.syms[key]; ok {
+		return id
+	}
+	id := len(n.names)
+	n.syms[key] = id
+	n.names = append(n.names, name)
+	return id
+}
+
+// aliasCopy records the root-key alias established by an elided pure
+// copy `lhs = rhs`: later reads of lhs's root resolve to rhs's root.
+// Constant stores establish no alias (the constant has no root), and a
+// copy whose two sides already share a root is a no-op.
+func (n *normer) aliasCopy(ev *env, lhs, rhs ast.Expr) {
+	if tv, ok := ev.pkg.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+		return
+	}
+	rk, _, rst := n.rootKey(ev, rhs)
+	lk, _, lst := n.rootKey(ev, lhs)
+	if rst != rootOK || lst != rootOK || lk == rk {
+		return
+	}
+	n.alias[lk] = rk
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// typeOf resolves an expression's type, falling back to the object type
+// for identifiers (assignment targets are not in the Types map).
+func typeOf(ev *env, e ast.Expr) types.Type {
+	info := ev.pkg.TypesInfo
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// expr normalizes a value expression.
+func (n *normer) expr(ev *env, e ast.Expr) *Node {
+	e = ast.Unparen(e)
+	info := ev.pkg.TypesInfo
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return &Node{Kind: KConst, Const: tv.Value.ExactString(), Pos: e.Pos()}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			if b, ok := ev.binds[obj]; ok {
+				return n.expr(b.argEnv, b.argExpr)
+			}
+		}
+		return n.load(ev, e)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+		return n.load(ev, e)
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.SUB:
+			return &Node{Kind: KNeg, Args: []*Node{n.expr(ev, x.X)}, Pos: e.Pos()}
+		case token.ADD:
+			return n.expr(ev, x.X)
+		case token.AND:
+			return n.load(ev, x.X)
+		}
+		return &Node{Kind: KWild, Pos: e.Pos()}
+	case *ast.BinaryExpr:
+		if isCmpTok(x.Op) {
+			return n.cmp(ev, x)
+		}
+		nd := &Node{
+			Kind: KBin, Op: x.Op, Pos: x.OpPos,
+			Args: []*Node{n.expr(ev, x.X), n.expr(ev, x.Y)},
+		}
+		if x.Op == token.ADD || x.Op == token.MUL {
+			sortCommutative(nd)
+		}
+		return nd
+	case *ast.CallExpr:
+		return n.call(ev, x)
+	}
+	return &Node{Kind: KWild, Pos: e.Pos()}
+}
+
+func isCmpTok(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// sortCommutative puts the operands of an IEEE-commutative op (+, *)
+// into canonical order. Associativity is deliberately untouched.
+func sortCommutative(nd *Node) {
+	if Compare(nd.Args[0], nd.Args[1]) > 0 {
+		nd.Args[0], nd.Args[1] = nd.Args[1], nd.Args[0]
+	}
+}
+
+// cmp canonicalizes a comparison: > and >= flip to < and <= with swapped
+// operands; == and != sort operands.
+func (n *normer) cmp(ev *env, x *ast.BinaryExpr) *Node {
+	op := x.Op
+	l, r := n.expr(ev, x.X), n.expr(ev, x.Y)
+	switch op {
+	case token.GTR:
+		op, l, r = token.LSS, r, l
+	case token.GEQ:
+		op, l, r = token.LEQ, r, l
+	}
+	nd := &Node{Kind: KCmp, Op: op, Args: []*Node{l, r}, Pos: x.OpPos}
+	if op == token.EQL || op == token.NEQ {
+		sortCommutative(nd)
+	}
+	return nd
+}
+
+// load resolves a value read to its canonical root symbol.
+func (n *normer) load(ev *env, e ast.Expr) *Node {
+	key, name, st := n.rootKey(ev, e)
+	if st == rootOK {
+		return &Node{Kind: KLoad, Sym: n.symID(key, name), Pos: e.Pos()}
+	}
+	return &Node{Kind: KWild, Pos: e.Pos()}
+}
+
+// rootKey resolves an expression to a stable value-root key: selector
+// chains build dotted paths, indexing and slicing collapse to the base
+// (the lane-index mapping), and identifiers chase pure single-source
+// copies through the use-def chains. A variable defined by arithmetic —
+// or by several disagreeing sources — is its own root; the arithmetic
+// was already emitted as a store event at its definition.
+func (n *normer) rootKey(ev *env, e ast.Expr) (key, name string, st int) {
+	e = ast.Unparen(e)
+	info := ev.pkg.TypesInfo
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return "", "", rootFail
+		}
+		if b, ok := ev.binds[obj]; ok {
+			if b.key == "" {
+				return "", "", rootFail
+			}
+			return b.key, b.name, rootOK
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return "", "", rootFail
+		}
+		return n.varRoot(ev, v)
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				return "pkg:" + pn.Imported().Path() + "." + x.Sel.Name,
+					id.Name + "." + x.Sel.Name, rootOK
+			}
+		}
+		bk, bn, st := n.rootKey(ev, x.X)
+		if st != rootOK {
+			return "", "", st
+		}
+		return bk + "." + x.Sel.Name, bn + "." + x.Sel.Name, rootOK
+	case *ast.IndexExpr:
+		return n.rootKey(ev, x.X)
+	case *ast.SliceExpr:
+		return n.rootKey(ev, x.X)
+	case *ast.StarExpr:
+		return n.rootKey(ev, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return n.rootKey(ev, x.X)
+		}
+	case *ast.CallExpr:
+		// An identity float conversion of a pure root is the same bits.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			if at := typeOf(ev, x.Args[0]); isFloat(tv.Type) && at != nil &&
+				types.Identical(tv.Type.Underlying(), at.Underlying()) {
+				return n.rootKey(ev, x.Args[0])
+			}
+		}
+	}
+	return "", "", rootFail
+}
+
+// varRoot resolves a variable: parameters, package-level vars, and
+// locals with no traceable single source root at the variable itself
+// (keyed by declaration position — unique and deterministic); locals
+// whose every definition is a pure copy of one root resolve to that
+// root, eliding the copy.
+func (n *normer) varRoot(ev *env, v *types.Var) (key, name string, st int) {
+	if n.chasing[v] {
+		return "", "", rootCycle
+	}
+	own := fmt.Sprintf("v@%d", v.Pos())
+	defs := n.copies[v]
+	if len(defs) == 0 {
+		return own, v.Name(), rootOK
+	}
+	n.chasing[v] = true
+	defer delete(n.chasing, v)
+	got, gotName, resolved, failed := "", "", false, false
+	for _, d := range defs {
+		if d.rhs == nil {
+			failed = true // a value-mutating definition: not a pure copy
+			break
+		}
+		k, nm, st := n.rootKey(ev, d.rhs)
+		if st == rootCycle {
+			continue // self-redefinition (lx = lx[:n]): no new source
+		}
+		if st == rootFail || (resolved && k != got) {
+			failed = true
+			break
+		}
+		got, gotName, resolved = k, nm, true
+	}
+	if failed || !resolved {
+		return own, v.Name(), rootOK
+	}
+	return got, gotName, rootOK
+}
+
+// call normalizes a call or conversion expression.
+func (n *normer) call(ev *env, c *ast.CallExpr) *Node {
+	info := ev.pkg.TypesInfo
+	if tv, ok := info.Types[c.Fun]; ok && tv.IsType() {
+		return n.conv(ev, c, tv.Type)
+	}
+	fn := calleeOf(info, c)
+	if fn == nil {
+		if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return &Node{Kind: KCall, Callee: "builtin." + b.Name(),
+					Args: n.argNodes(ev, c), Pos: c.Pos()}
+			}
+		}
+		return &Node{Kind: KCall, Callee: "dynamic", Args: n.argNodes(ev, c), Pos: c.Pos()}
+	}
+	full := fn.FullName()
+	if pair, ok := n.mod.pairOf[full]; ok {
+		return &Node{Kind: KCall, Callee: "pair:" + pair, Args: n.argNodes(ev, c), Pos: c.Pos()}
+	}
+	node := n.mod.cg.Node(full)
+	if node == nil {
+		// No loaded syntax: an external intrinsic (math.Abs, math.Sqrt,
+		// math.FMA, …) or an interface method. Opaque single op.
+		return &Node{Kind: KCall, Callee: full, Args: n.argNodes(ev, c), Pos: c.Pos()}
+	}
+	if n.depth < maxInlineDepth {
+		if ret := singleExpr(node.Decl); ret != nil {
+			if child := n.bindCall(ev, c, node); child != nil {
+				n.depth++
+				out := n.expr(child, ret)
+				n.depth--
+				return out
+			}
+		}
+	}
+	return &Node{Kind: KCall, Callee: full, Args: n.argNodes(ev, c), Pos: c.Pos()}
+}
+
+// conv normalizes a conversion. Same-float-type conversions are the
+// spec's rounding barrier: elided around a bare load/constant (same
+// bits), preserved as KConv around arithmetic. Cross-type conversions
+// are real rounding ops keyed by the destination type.
+func (n *normer) conv(ev *env, c *ast.CallExpr, dst types.Type) *Node {
+	if len(c.Args) != 1 {
+		return &Node{Kind: KWild, Pos: c.Pos()}
+	}
+	arg := c.Args[0]
+	inner := n.expr(ev, arg)
+	if at := typeOf(ev, arg); isFloat(dst) && at != nil &&
+		types.Identical(dst.Underlying(), at.Underlying()) {
+		switch inner.Kind {
+		case KLoad, KConst, KWild:
+			return inner
+		}
+		return &Node{Kind: KConv, Callee: "barrier", Args: []*Node{inner}, Pos: c.Pos()}
+	}
+	return &Node{Kind: KConv, Callee: dst.String(), Args: []*Node{inner}, Pos: c.Pos()}
+}
+
+// calleeOf resolves the static callee of a call, or nil for dynamic
+// calls and builtins.
+func calleeOf(info *types.Info, c *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(c.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// argNodes normalizes a call's operands: the receiver (for method
+// values) followed by the arguments. The roots the kernel feeds the
+// callee are part of the fingerprint even when the callee is opaque.
+func (n *normer) argNodes(ev *env, c *ast.CallExpr) []*Node {
+	var out []*Node
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := ev.pkg.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			out = append(out, n.expr(ev, sel.X))
+		}
+	}
+	for _, a := range c.Args {
+		out = append(out, n.expr(ev, a))
+	}
+	return out
+}
+
+// singleExpr returns the returned expression of a single-statement
+// `return <expr>` body, or nil.
+func singleExpr(decl *ast.FuncDecl) ast.Expr {
+	if decl.Body == nil || len(decl.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	return ret.Results[0]
+}
+
+// bindCall builds the inlining environment for a single-expression
+// callee: receiver and parameters bound to the caller's normalized
+// argument trees (with root keys when the arguments are pure roots, so
+// field selections through the receiver keep resolving). Returns nil
+// when the shapes don't line up (variadics, multi-results, unnamed
+// receiver with a used body — impossible — or arity mismatch).
+func (n *normer) bindCall(ev *env, c *ast.CallExpr, node *cfg.CallNode) *env {
+	sig, ok := node.Fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() || sig.Results().Len() != 1 {
+		return nil
+	}
+	decl := node.Decl
+	calleeInfo := node.Pkg.TypesInfo
+	binds := make(map[types.Object]bind)
+	if decl.Recv != nil {
+		sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		names := decl.Recv.List[0].Names
+		if len(names) == 1 && names[0].Name != "_" {
+			obj := calleeInfo.Defs[names[0]]
+			if obj == nil {
+				return nil
+			}
+			binds[obj] = n.bindOf(ev, sel.X)
+		}
+	}
+	i := 0
+	for _, f := range decl.Type.Params.List {
+		if len(f.Names) == 0 {
+			i++ // unnamed parameter: the body cannot read it
+			continue
+		}
+		for _, nm := range f.Names {
+			if i >= len(c.Args) {
+				return nil
+			}
+			if nm.Name != "_" {
+				obj := calleeInfo.Defs[nm]
+				if obj == nil {
+					return nil
+				}
+				binds[obj] = n.bindOf(ev, c.Args[i])
+			}
+			i++
+		}
+	}
+	if i != len(c.Args) {
+		return nil
+	}
+	return &env{pkg: node.Pkg, binds: binds}
+}
+
+func (n *normer) bindOf(ev *env, arg ast.Expr) bind {
+	b := bind{argExpr: arg, argEnv: ev}
+	if key, name, st := n.rootKey(ev, arg); st == rootOK {
+		b.key, b.name = key, name
+	}
+	return b
+}

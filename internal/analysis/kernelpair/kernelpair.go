@@ -1,0 +1,171 @@
+// Package kernelpair statically proves the scalar/batch bit-identity
+// contract: two functions annotated as a pair must normalize — through
+// the fpnorm canonical float normal form — to the same arithmetic op
+// sequence, modulo the lane-index mapping `[j] ↔ [j*K+m]` and symbol
+// naming. The contract this machine-checks is the batch engine's
+// founding invariant: every batch lane executes the exact scalar IMEX
+// arithmetic, so an ensemble member's trajectory is bitwise equal to the
+// same member run alone. The runtime equivalence suites sample that
+// claim; this analyzer proves the op structure for every edit, at vet
+// time.
+//
+// Annotation contract (doc comment directive, both sides):
+//
+//	//dmmvet:pair name=<id> role=scalar
+//	//dmmvet:pair name=<id> role=batch
+//
+// Exactly one scalar and one batch member per name. Calls to either
+// member of any declared pair normalize to the same callee, so a scalar
+// kernel calling Advance and its batch twin calling AdvanceRow
+// fingerprint as the same op. On divergence the finding reports the
+// first differing op with both source locations and the rendered
+// normalized forms of both sides.
+package kernelpair
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/fpnorm"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelpair",
+	Doc: "prove //dmmvet:pair scalar/batch kernels execute identical normalized float-op sequences " +
+		"(the bit-identity contract), reporting op-level diffs with both source locations",
+	RunModule: run,
+}
+
+var pairRe = regexp.MustCompile(`^//dmmvet:pair\s+(.*)$`)
+
+type pair struct {
+	scalar, batch *cfg.CallNode
+}
+
+func run(mp *analysis.ModulePass) error {
+	cg := cfg.BuildCallGraph(mp.Pkgs)
+	mod := fpnorm.FromGraph(cg)
+	pairs := make(map[string]*pair)
+	var order []string
+	for _, name := range cg.Names() {
+		node := cg.Node(name)
+		if node.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range node.Decl.Doc.List {
+			m := pairRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pname, role, ok := parseDirective(m[1])
+			if !ok {
+				mp.Reportf(node.Pkg, node.Decl.Name.Pos(),
+					"malformed //dmmvet:pair on %s: need `//dmmvet:pair name=<id> role=scalar|batch`, got %q",
+					node.Decl.Name.Name, strings.TrimSpace(m[1]))
+				continue
+			}
+			p := pairs[pname]
+			if p == nil {
+				p = &pair{}
+				pairs[pname] = p
+				order = append(order, pname)
+			}
+			side := &p.scalar
+			if role == "batch" {
+				side = &p.batch
+			}
+			if *side != nil {
+				mp.Reportf(node.Pkg, node.Decl.Name.Pos(),
+					"duplicate role %s for kernel pair %q: already declared on %s",
+					role, pname, (*side).FullName)
+				continue
+			}
+			*side = node
+			mod.SetPair(node.Fn.FullName(), pname)
+		}
+	}
+	sort.Strings(order)
+
+	for _, pname := range order {
+		p := pairs[pname]
+		if p.scalar == nil || p.batch == nil {
+			present, missing := p.scalar, "batch"
+			if present == nil {
+				present, missing = p.batch, "scalar"
+			}
+			mp.Reportf(present.Pkg, present.Decl.Name.Pos(),
+				"kernel pair %q has no %s member: annotate the twin with `//dmmvet:pair name=%s role=%s`",
+				pname, missing, pname, missing)
+			continue
+		}
+		comparePair(mp, mod, pname, p)
+	}
+	return nil
+}
+
+// parseDirective parses the key=value fields after //dmmvet:pair.
+func parseDirective(s string) (name, role string, ok bool) {
+	for _, f := range strings.Fields(s) {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			return "", "", false
+		}
+		switch k {
+		case "name":
+			name = v
+		case "role":
+			role = v
+		default:
+			return "", "", false
+		}
+	}
+	if name == "" || (role != "scalar" && role != "batch") {
+		return "", "", false
+	}
+	return name, role, true
+}
+
+func comparePair(mp *analysis.ModulePass, mod *fpnorm.Module, pname string, p *pair) {
+	fs := mod.Fingerprint(p.scalar)
+	fb := mod.Fingerprint(p.batch)
+	min := len(fs.Events)
+	if len(fb.Events) < min {
+		min = len(fb.Events)
+	}
+	for i := 0; i < min; i++ {
+		es, eb := fs.Events[i], fb.Events[i]
+		if fpnorm.EventEqual(es, eb) {
+			continue
+		}
+		mp.Reportf(p.scalar.Pkg, es.Pos,
+			"kernel pair %q diverges at float op %d: scalar `%s` vs batch `%s` (batch side at %s): "+
+				"scalar/batch bit-identity requires identical normalized op sequences",
+			pname, i, es.Render(fs.Syms), eb.Render(fb.Syms),
+			pos(p.batch, eb.Pos))
+		return
+	}
+	if len(fs.Events) != len(fb.Events) {
+		long, syms, where := "batch", fb.Syms, p.batch
+		extra := fb.Events[min:]
+		if len(fs.Events) > len(fb.Events) {
+			long, syms, extra, where = "scalar", fs.Syms, fs.Events[min:], p.scalar
+		}
+		mp.Reportf(p.scalar.Pkg, p.scalar.Decl.Name.Pos(),
+			"kernel pair %q: scalar has %d float ops, batch has %d; first extra %s op is `%s` at %s",
+			pname, len(fs.Events), len(fb.Events), long,
+			extra[0].Render(syms), pos(where, extra[0].Pos))
+	}
+}
+
+func pos(n *cfg.CallNode, p token.Pos) string {
+	if !p.IsValid() {
+		return fmt.Sprintf("%s (declaration)", n.Pkg.Fset.Position(n.Decl.Name.Pos()))
+	}
+	return n.Pkg.Fset.Position(p).String()
+}

@@ -1,0 +1,17 @@
+package kernelpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/kernelpair"
+)
+
+// TestKernelPair drives the analyzer over the fixture pairs: matching
+// twins (lane loops, exact fast paths, opaque intrinsics, accessor
+// inlining, nested pair calls) stay silent; op diffs, lane-map
+// mismatches, missing partners, count mismatches, and malformed
+// directives are each reported once.
+func TestKernelPair(t *testing.T) {
+	analysistest.Run(t, kernelpair.Analyzer, "testdata/src/kptest", "repro/internal/fixture/kptest")
+}

@@ -1,0 +1,160 @@
+// Package kptest exercises kernelpair: matching scalar/batch twins
+// (including the d==0-style exact fast path, opaque math intrinsics,
+// single-expression accessor inlining, and nested pair calls), plus the
+// failure modes — op diff, lane-map mismatch, missing partner, count
+// mismatch, malformed directive.
+package kptest
+
+import "math"
+
+// K is the ensemble width of the batch layout [j*K+m].
+const K = 4
+
+// --- matching pair: lane loop vs straight line, fast path, intrinsic ---
+
+//dmmvet:pair name=ok role=scalar
+func okScalar(h float64, x, d []float64, n int) {
+	for j := 0; j < n; j++ {
+		xi := x[j]
+		if xi == 0 {
+			continue // exact fast path: skipping is bit-neutral
+		}
+		s := math.Abs(d[j])
+		x[j] = xi + float64(h*s)
+	}
+}
+
+//dmmvet:pair name=ok role=batch
+func okBatch(h float64, x, d []float64, n int) {
+	for j := 0; j < n; j++ {
+		for m := 0; m < K; m++ {
+			xi := x[j*K+m]
+			if xi == 0 {
+				continue
+			}
+			s := math.Abs(d[j*K+m])
+			x[j*K+m] = xi + float64(h*s)
+		}
+	}
+}
+
+// --- single-expression accessor inlining vs manual inline ---
+
+type branch struct{ a, dc []float64 }
+
+func (s *branch) lvl(j int, v []float64) float64 { return s.a[j]*v[j] + s.dc[j] }
+
+//dmmvet:pair name=inline role=scalar
+func inlineScalar(s *branch, v, out []float64, n int) {
+	for j := 0; j < n; j++ {
+		out[j] = s.lvl(j, v)
+	}
+}
+
+//dmmvet:pair name=inline role=batch
+func inlineBatch(s *branch, v, out []float64, n int) {
+	for j := 0; j < n; j++ {
+		a := s.a[j]
+		dc := s.dc[j]
+		for m := 0; m < K; m++ {
+			out[j*K+m] = a*v[j*K+m] + dc
+		}
+	}
+}
+
+// --- calls to pair members normalize to the same op ---
+
+//dmmvet:pair name=inner role=scalar
+func innerScalar(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	return float64(v*v) + 1
+}
+
+//dmmvet:pair name=inner role=batch
+func innerBatch(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	return float64(v*v) + 1
+}
+
+//dmmvet:pair name=outer role=scalar
+func outerScalar(x []float64, n int) {
+	for j := 0; j < n; j++ {
+		x[j] = innerScalar(x[j])
+	}
+}
+
+//dmmvet:pair name=outer role=batch
+func outerBatch(x []float64, n int) {
+	for j := 0; j < n*K; j++ {
+		x[j] = innerBatch(x[j])
+	}
+}
+
+// --- op-level diff: different association ---
+
+//dmmvet:pair name=opdiff role=scalar
+func opdiffScalar(a, b float64, x []float64, n int) {
+	for j := 0; j < n; j++ {
+		x[j] = float64(a*x[j]) + b // want `kernel pair "opdiff" diverges at float op 0`
+	}
+}
+
+//dmmvet:pair name=opdiff role=batch
+func opdiffBatch(a, b float64, x []float64, n int) {
+	for j := 0; j < n*K; j++ {
+		x[j] = a * (x[j] + b)
+	}
+}
+
+// --- lane-map mismatch: batch reads a different array ---
+
+//dmmvet:pair name=lanes role=scalar
+func lanesScalar(x, y []float64, n int) {
+	for j := 0; j < n; j++ {
+		x[j] = x[j] * 0.5 // want `kernel pair "lanes" diverges at float op 0`
+	}
+}
+
+//dmmvet:pair name=lanes role=batch
+func lanesBatch(x, y []float64, n int) {
+	for j := 0; j < n*K; j++ {
+		x[j] = y[j] * 0.5
+	}
+}
+
+// --- missing partner ---
+
+//dmmvet:pair name=orphan role=scalar
+func orphanScalar(x []float64, n int) { // want `kernel pair "orphan" has no batch member`
+	for j := 0; j < n; j++ {
+		x[j] = x[j] + x[j]*x[j] // no fparith here: kernelpair only
+	}
+}
+
+// --- count mismatch ---
+
+//dmmvet:pair name=extra role=scalar
+func extraScalar(a float64, x []float64, n int) { // want `scalar has 1 float ops, batch has 2`
+	for j := 0; j < n; j++ {
+		x[j] = float64(a*x[j]) + a
+	}
+}
+
+//dmmvet:pair name=extra role=batch
+func extraBatch(a float64, x []float64, n int) {
+	for j := 0; j < n*K; j++ {
+		x[j] = float64(a*x[j]) + a
+		x[j] = x[j] + 1
+	}
+}
+
+// --- malformed directive ---
+
+//dmmvet:pair name=bad
+func badDirective(x []float64) { // want `malformed //dmmvet:pair`
+	x[0] = x[0] + 1
+}

@@ -9,8 +9,10 @@ import (
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/detflow"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/fparith"
 	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/kernelpair"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/nakedgoroutine"
 	"repro/internal/analysis/seeddet"
@@ -40,8 +42,10 @@ func TestSelfVet(t *testing.T) {
 		ctxfirst.Analyzer,
 		detflow.Analyzer,
 		floateq.Analyzer,
+		fparith.Analyzer,
 		goroleak.Analyzer,
 		hotalloc.Analyzer,
+		kernelpair.Analyzer,
 		lockorder.Analyzer,
 		nakedgoroutine.Analyzer,
 		seeddet.Analyzer,

@@ -64,7 +64,7 @@ func (be *BatchEngine) NewState() []float64 {
 func (be *BatchEngine) InitMember(X []float64, m int, rng *rand.Rand) {
 	c, k := be.c, be.k
 	for f := 0; f < c.nv; f++ {
-		X[(c.vOff()+f)*k+m] = 0.02 * c.Params.Vc * (2*rng.Float64() - 1)
+		X[(c.vOff()+f)*k+m] = 0.02 * c.Params.Vc * (float64(2*rng.Float64()) - 1)
 	}
 	for j := 0; j < c.nm; j++ {
 		X[(c.xOff()+j)*k+m] = rng.Float64()

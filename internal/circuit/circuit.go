@@ -113,7 +113,11 @@ func (b *Builder) Build() *Circuit {
 
 // fillConductances writes the per-branch conductance buffer in plan order:
 // g[0:nm] the memristor branches evaluated at the clamped states starting
-// at x[xOff], g[nm:] the resistor branches at 1/R.
+// at x[xOff], g[nm:] the resistor branches at 1/R. Scalar twin of
+// fillConductancesBatch (kernel pair cond-fill).
+//
+//dmmvet:pair name=cond-fill role=scalar
+//dmmvet:hotpath
 func (c *Circuit) fillConductances(g la.Vector, x la.Vector, xOff int) {
 	p := &c.Params
 	for m := 0; m < c.nm; m++ {
@@ -129,8 +133,9 @@ func (c *Circuit) fillConductances(g la.Vector, x la.Vector, xOff int) {
 // gB (branch b of member m at b*k+m) for all K members of the batch
 // state X: memristor branches evaluated per lane at the clamped states,
 // resistor branches broadcast at 1/R. Per lane it is bit-identical to
-// fillConductances.
+// fillConductances (kernel pair cond-fill).
 //
+//dmmvet:pair name=cond-fill role=batch
 //dmmvet:hotpath
 func (c *Circuit) fillConductancesBatch(gB []float64, k int, X []float64, xOff int) {
 	p := &c.Params
@@ -214,14 +219,14 @@ func (c *Circuit) Derivative(t float64, x, dxdt la.Vector) {
 		d := nodeV[mb.node[j]] - mb.level(j, nodeV)
 		xi := memristor.Clamp(x[xOff+j])
 		g := p.Mem.G(xi)
-		curr[mb.node[j]] += g * d
+		curr[mb.node[j]] += float64(g * d)
 		dxdt[xOff+j] = p.Mem.DxDt(xi, mb.sigma[j]*d)
 	}
 	rb := &c.resBr
 	invR := 1 / p.R
 	for j := 0; j < rb.len(); j++ {
 		d := nodeV[rb.node[j]] - rb.level(j, nodeV)
-		curr[rb.node[j]] += d * invR
+		curr[rb.node[j]] += float64(d * invR)
 	}
 
 	// VCDCGs: current balance plus (i, s) dynamics. The f_s offset couples
@@ -268,7 +273,7 @@ func (c *Circuit) ClampState(x la.Vector) {
 func (c *Circuit) InitialState(rng *rand.Rand) la.Vector {
 	x := la.NewVector(c.Dim())
 	for f := 0; f < c.nv; f++ {
-		x[c.vOff()+f] = 0.02 * c.Params.Vc * (2*rng.Float64() - 1)
+		x[c.vOff()+f] = 0.02 * c.Params.Vc * (float64(2*rng.Float64()) - 1)
 	}
 	for m := 0; m < c.nm; m++ {
 		x[c.xOff()+m] = rng.Float64()

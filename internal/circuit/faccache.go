@@ -196,7 +196,7 @@ func (s *IMEXStepper) solveRefined() (sweeps int, ok bool) {
 	// than the linear predictor. The same fused loop shifts the history
 	// so vPrev/vPrev2 stay one/two steps behind vNew.
 	for i, v := range s.vNew {
-		s.vNew[i] = 3*(v-s.vPrev[i]) + s.vPrev2[i]
+		s.vNew[i] = float64(3*(v-s.vPrev[i])) + s.vPrev2[i]
 		s.vPrev2[i] = s.vPrev[i]
 		s.vPrev[i] = v
 	}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/invariant"
 	"repro/internal/la"
-	"repro/internal/memristor"
 	"repro/internal/obs"
 	"repro/internal/ode"
 )
@@ -346,7 +345,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 		}
 	}
 	for f := 0; f < c.nv; f++ {
-		s.rhs[f] += shift * x[c.vOff()+f]
+		s.rhs[f] += float64(shift * x[c.vOff()+f])
 	}
 	tok = s.Spans.Lap(obs.PhaseStamp, tok)
 	if refineSlot != nil {
@@ -396,29 +395,7 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 
 	// Explicit updates of the slow states using the new voltages, plus
 	// the dissipation tally g·d² per branch.
-	var power float64
-	mb := &c.memBr
-	for j := 0; j < mb.len(); j++ {
-		d := s.nodeV[mb.node[j]] - mb.level(j, s.nodeV)
-		xi := memristor.Clamp(x[c.xOff()+j])
-		g := s.g[j]
-		power += g * d * d
-		x[c.xOff()+j] = memristor.Clamp(xi + h*p.Mem.DxDt(xi, mb.sigma[j]*d))
-	}
-	rb := &c.resBr
-	invR := 1 / p.R
-	for j := 0; j < rb.len(); j++ {
-		d := s.nodeV[rb.node[j]] - rb.level(j, s.nodeV)
-		power += d * d * invR
-	}
-	s.energy += h * power
-	offset := p.DCG.FsOffset(x[c.iOff() : c.iOff()+c.nd])
-	for k, node := range c.dcgNodes {
-		i := x[c.iOff()+k]
-		sv := x[c.sOff()+k]
-		x[c.iOff()+k] = i + h*p.DCG.DiDt(s.nodeV[node], i, sv)
-		x[c.sOff()+k] = sv + h*p.DCG.Fs(sv, offset)
-	}
+	s.advanceSlowStates(h, x)
 	// Commit voltages.
 	for f := 0; f < c.nv; f++ {
 		x[c.vOff()+f] = s.vNew[f]
@@ -448,4 +425,41 @@ func (s *IMEXStepper) Step(sys ode.System, t, h float64, x la.Vector) (float64, 
 	}
 	s.Spans.End(obs.PhaseMemAdvance, tok)
 	return 0, nil
+}
+
+// advanceSlowStates performs the explicit update of the slow states —
+// memristor x through the Advance kernel, VCDCG currents i and controls
+// sv — from the freshly solved node voltages, accumulating the per-step
+// dissipation tally g·d² into the energy integral. It is the scalar
+// twin of (*BatchIMEXStepper).advanceSlowStatesBatch: the kernelpair
+// analyzer proves both advance slow state through the same normalized
+// float op sequence under the lane mapping [j] ↔ [j·K+m], and the
+// ladder/batch equivalence suites pin the bits at run time.
+//
+//dmmvet:pair name=imex-slow role=scalar
+func (s *IMEXStepper) advanceSlowStates(h float64, x la.Vector) {
+	c := s.c
+	p := &c.Params
+	var power float64
+	mb := &c.memBr
+	for j := 0; j < mb.len(); j++ {
+		d := s.nodeV[mb.node[j]] - mb.level(j, s.nodeV)
+		g := s.g[j]
+		power += float64(g * d * d)
+		x[c.xOff()+j] = p.Mem.Advance(h, mb.sigma[j], x[c.xOff()+j], d)
+	}
+	rb := &c.resBr
+	invR := 1 / p.R
+	for j := 0; j < rb.len(); j++ {
+		d := s.nodeV[rb.node[j]] - rb.level(j, s.nodeV)
+		power += float64(d * d * invR)
+	}
+	s.energy += float64(h * power)
+	offset := p.DCG.FsOffset(x[c.iOff() : c.iOff()+c.nd])
+	for k, node := range c.dcgNodes {
+		i := x[c.iOff()+k]
+		sv := x[c.sOff()+k]
+		x[c.iOff()+k] = i + float64(h*p.DCG.DiDt(s.nodeV[node], i, sv))
+		x[c.sOff()+k] = sv + float64(h*p.DCG.Fs(sv, offset))
+	}
 }

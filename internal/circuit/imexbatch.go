@@ -452,7 +452,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 		dst := s.rhsB[f*k:][:k]
 		src := X[(c.vOff()+f)*k:][:len(dst)]
 		for m := range dst {
-			dst[m] += shift * src[m]
+			dst[m] += float64(shift * src[m])
 		}
 	}
 	tok = s.Spans.Lap(obs.PhaseStamp, tok)
@@ -495,64 +495,7 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 
 	// Explicit updates of the slow states, all lanes, with the per-lane
 	// dissipation tally g·d².
-	for m := range s.powerB {
-		s.powerB[m] = 0
-	}
-	mb := &c.memBr
-	for j := 0; j < mb.len(); j++ {
-		nv := s.nodeVB[int(mb.node[j])*k:][:k]
-		l1 := s.nodeVB[int(mb.i1[j])*k:][:len(nv)]
-		l2 := s.nodeVB[int(mb.i2[j])*k:][:len(nv)]
-		lo := s.nodeVB[int(mb.io[j])*k:][:len(nv)]
-		a1, a2, ao, dc := mb.a1[j], mb.a2[j], mb.ao[j], mb.dc[j]
-		sigma := mb.sigma[j]
-		xrow := X[(c.xOff()+j)*k:][:len(nv)]
-		grow := s.gB[j*k:][:len(nv)]
-		pw := s.powerB[:len(nv)]
-		drow := s.dropB[:len(nv)]
-		for m, v := range nv {
-			d := v - (a1*l1[m] + a2*l2[m] + ao*lo[m] + dc)
-			drow[m] = d
-			pw[m] += grow[m] * d * d
-		}
-		p.Mem.AdvanceRow(h, sigma, xrow, drow)
-	}
-	rb := &c.resBr
-	invR := 1 / p.R
-	for j := 0; j < rb.len(); j++ {
-		nv := s.nodeVB[int(rb.node[j])*k:][:k]
-		l1 := s.nodeVB[int(rb.i1[j])*k:][:len(nv)]
-		l2 := s.nodeVB[int(rb.i2[j])*k:][:len(nv)]
-		lo := s.nodeVB[int(rb.io[j])*k:][:len(nv)]
-		a1, a2, ao, dc := rb.a1[j], rb.a2[j], rb.ao[j], rb.dc[j]
-		pw := s.powerB[:len(nv)]
-		for m, v := range nv {
-			d := v - (a1*l1[m] + a2*l2[m] + ao*lo[m] + dc)
-			pw[m] += d * d * invR
-		}
-	}
-	for m, pw := range s.powerB {
-		s.energyB[m] += h * pw
-	}
-	// VCDCG slow states: the f_s offset couples generators within a lane
-	// (never across lanes), so it is gathered and evaluated per lane.
-	for m := 0; m < k; m++ {
-		for d := 0; d < c.nd; d++ {
-			s.iLane[d] = X[(c.iOff()+d)*k+m]
-		}
-		s.offB[m] = p.DCG.FsOffset(s.iLane)
-	}
-	for d, node := range c.dcgNodes {
-		nv := s.nodeVB[node*k:][:k]
-		irow := X[(c.iOff()+d)*k:][:len(nv)]
-		srow := X[(c.sOff()+d)*k:][:len(nv)]
-		for m, v := range nv {
-			i := irow[m]
-			sv := srow[m]
-			irow[m] = i + h*p.DCG.DiDt(v, i, sv)
-			srow[m] = sv + h*p.DCG.Fs(sv, s.offB[m])
-		}
-	}
+	s.advanceSlowStatesBatch(h, X)
 	// Commit voltages.
 	for f := 0; f < c.nv; f++ {
 		copy(X[(c.vOff()+f)*k:][:k], s.vNewB[f*k:][:k])
@@ -593,6 +536,79 @@ func (s *BatchIMEXStepper) StepBatch(t, h float64, X []float64, alive []bool) er
 	return nil
 }
 
+// advanceSlowStatesBatch performs the explicit slow-state update across
+// every lane: memristor rows through the AdvanceRow kernel, VCDCG
+// currents and controls per lane, with the dissipation tally g·d²
+// accumulated into the per-lane energy integrals. It is the batch twin
+// of (*IMEXStepper).advanceSlowStates — same normalized float op
+// sequence under the lane mapping [j] ↔ [j·K+m], proven by the
+// kernelpair analyzer and pinned bitwise by the lockstep equivalence
+// suites.
+//
+//dmmvet:pair name=imex-slow role=batch
+func (s *BatchIMEXStepper) advanceSlowStatesBatch(h float64, X []float64) {
+	c, k := s.c, s.k
+	p := &c.Params
+	for m := range s.powerB {
+		s.powerB[m] = 0
+	}
+	mb := &c.memBr
+	for j := 0; j < mb.len(); j++ {
+		nv := s.nodeVB[int(mb.node[j])*k:][:k]
+		l1 := s.nodeVB[int(mb.i1[j])*k:][:len(nv)]
+		l2 := s.nodeVB[int(mb.i2[j])*k:][:len(nv)]
+		lo := s.nodeVB[int(mb.io[j])*k:][:len(nv)]
+		a1, a2, ao, dc := mb.a1[j], mb.a2[j], mb.ao[j], mb.dc[j]
+		sigma := mb.sigma[j]
+		xrow := X[(c.xOff()+j)*k:][:len(nv)]
+		grow := s.gB[j*k:][:len(nv)]
+		pw := s.powerB[:len(nv)]
+		drow := s.dropB[:len(nv)]
+		for m, v := range nv {
+			d := v - (float64(a1*l1[m]) + float64(a2*l2[m]) + float64(ao*lo[m]) + dc)
+			drow[m] = d
+			pw[m] += float64(grow[m] * d * d)
+		}
+		p.Mem.AdvanceRow(h, sigma, xrow, drow)
+	}
+	rb := &c.resBr
+	invR := 1 / p.R
+	for j := 0; j < rb.len(); j++ {
+		nv := s.nodeVB[int(rb.node[j])*k:][:k]
+		l1 := s.nodeVB[int(rb.i1[j])*k:][:len(nv)]
+		l2 := s.nodeVB[int(rb.i2[j])*k:][:len(nv)]
+		lo := s.nodeVB[int(rb.io[j])*k:][:len(nv)]
+		a1, a2, ao, dc := rb.a1[j], rb.a2[j], rb.ao[j], rb.dc[j]
+		pw := s.powerB[:len(nv)]
+		for m, v := range nv {
+			d := v - (float64(a1*l1[m]) + float64(a2*l2[m]) + float64(ao*lo[m]) + dc)
+			pw[m] += float64(d * d * invR)
+		}
+	}
+	for m, pw := range s.powerB {
+		s.energyB[m] += float64(h * pw)
+	}
+	// VCDCG slow states: the f_s offset couples generators within a lane
+	// (never across lanes), so it is gathered and evaluated per lane.
+	for m := 0; m < k; m++ {
+		for d := 0; d < c.nd; d++ {
+			s.iLane[d] = X[(c.iOff()+d)*k+m]
+		}
+		s.offB[m] = p.DCG.FsOffset(s.iLane)
+	}
+	for d, node := range c.dcgNodes {
+		nv := s.nodeVB[node*k:][:k]
+		irow := X[(c.iOff()+d)*k:][:len(nv)]
+		srow := X[(c.sOff()+d)*k:][:len(nv)]
+		for m, v := range nv {
+			i := irow[m]
+			sv := srow[m]
+			irow[m] = i + float64(h*p.DCG.DiDt(v, i, sv))
+			srow[m] = sv + float64(h*p.DCG.Fs(sv, s.offB[m]))
+		}
+	}
+}
+
 // solveRefinedBatch runs the scalar solveRefined decision loop across
 // every refine-classified lane at once: extrapolated warm start, then
 // refinement sweeps — one masked batched residual plus one masked
@@ -612,7 +628,7 @@ func (s *BatchIMEXStepper) solveRefinedBatch(slot *batchFacSlot, hBits uint64) e
 		for m, on := range s.activeM {
 			if on {
 				v := s.vNewB[row+m]
-				s.vNewB[row+m] = 3*(v-s.vPrevB[row+m]) + s.vPrev2B[row+m]
+				s.vNewB[row+m] = float64(3*(v-s.vPrevB[row+m])) + s.vPrev2B[row+m]
 				s.vPrev2B[row+m] = s.vPrevB[row+m]
 				s.vPrevB[row+m] = v
 			}

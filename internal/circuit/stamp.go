@@ -53,7 +53,7 @@ func (s *branchSet) add(node, fi int, slots [3]int32, v device.VCVG, sigma float
 // level evaluates the branch's VCVG target voltage from the node-voltage
 // vector.
 func (s *branchSet) level(j int, nodeV la.Vector) float64 {
-	return s.a1[j]*nodeV[s.i1[j]] + s.a2[j]*nodeV[s.i2[j]] + s.ao[j]*nodeV[s.io[j]] + s.dc[j]
+	return float64(s.a1[j]*nodeV[s.i1[j]]) + float64(s.a2[j]*nodeV[s.i2[j]]) + float64(s.ao[j]*nodeV[s.io[j]]) + s.dc[j]
 }
 
 // stampPlan is the Build-time compilation of the Kirchhoff assembly. The
@@ -186,38 +186,65 @@ func (p *stampPlan) valCSR() *la.CSR {
 
 // assemble writes shift·I + A(g) into vals, which is either a private CSR
 // value array (sparse path, indexed by mIdx) or a dense row-major array
-// (dense path, indexed by mDen). The two paths share every op.
+// (dense path, indexed by mDen). The two arms share every op; they are
+// split into named kernels so the sparse arm can carry the kernel-pair
+// contract with assembleBatch.
 func (p *stampPlan) assemble(vals []float64, dense bool, shift float64, g la.Vector) {
+	if dense {
+		p.assembleDense(vals, shift, g)
+		return
+	}
+	p.assembleSparse(vals, shift, g)
+}
+
+// assembleSparse is the sparse assembly arm: zero, shift on the diagonal
+// CSR slots, then one multiply-accumulate per stamp op. It is the scalar
+// twin of assembleBatch (kernel pair imex-stamp).
+//
+//dmmvet:pair name=imex-stamp role=scalar
+//dmmvet:hotpath
+func (p *stampPlan) assembleSparse(vals []float64, shift float64, g la.Vector) {
 	for i := range vals {
 		vals[i] = 0
-	}
-	if dense {
-		nv1 := p.nv + 1
-		for f := 0; f < p.nv; f++ {
-			vals[f*nv1] = shift
-		}
-		for k, den := range p.mDen {
-			vals[den] += g[p.mBr[k]] * p.mCoef[k]
-		}
-		return
 	}
 	for _, d := range p.diag {
 		vals[d] = shift
 	}
 	for k, idx := range p.mIdx {
-		vals[idx] += g[p.mBr[k]] * p.mCoef[k]
+		vals[idx] += float64(g[p.mBr[k]] * p.mCoef[k])
+	}
+}
+
+// assembleDense is the dense assembly arm: same zero/shift/accumulate
+// sequence over row-major storage.
+//
+//dmmvet:hotpath
+func (p *stampPlan) assembleDense(vals []float64, shift float64, g la.Vector) {
+	for i := range vals {
+		vals[i] = 0
+	}
+	nv1 := p.nv + 1
+	for f := 0; f < p.nv; f++ {
+		vals[f*nv1] = shift
+	}
+	for k, den := range p.mDen {
+		vals[den] += float64(g[p.mBr[k]] * p.mCoef[k])
 	}
 }
 
 // assembleRHS accumulates the branch contributions to the right-hand side:
 // pinned-terminal VCVG couplings and DC terms. rhs must be pre-zeroed;
 // further terms (VCDCG currents, the C/h·v history) are the caller's.
+// Scalar twin of assembleRHSBatch (kernel pair imex-rhs).
+//
+//dmmvet:pair name=imex-rhs role=scalar
+//dmmvet:hotpath
 func (p *stampPlan) assembleRHS(rhs la.Vector, g la.Vector, nodeV la.Vector) {
 	for k, fi := range p.rFi {
-		rhs[fi] += g[p.rBr[k]] * p.rCoef[k] * nodeV[p.rNode[k]]
+		rhs[fi] += float64(g[p.rBr[k]] * p.rCoef[k] * nodeV[p.rNode[k]])
 	}
 	for k, fi := range p.dFi {
-		rhs[fi] += g[p.dBr[k]] * p.dDC[k]
+		rhs[fi] += float64(g[p.dBr[k]] * p.dDC[k])
 	}
 }
 
@@ -226,8 +253,9 @@ func (p *stampPlan) assembleRHS(rhs la.Vector, g la.Vector, nodeV la.Vector) {
 // t*k+m) from the interleaved conductance buffer gB (branch b of member m
 // at b*k+m). Per lane the op sequence is identical to assemble's sparse
 // path, so each lane's values are bit-identical to a scalar assembly of
-// that member.
+// that member (kernel pair imex-stamp).
 //
+//dmmvet:pair name=imex-stamp role=batch
 //dmmvet:hotpath
 func (p *stampPlan) assembleBatch(valB []float64, k int, shift float64, gB []float64) {
 	for i := range valB {
@@ -244,7 +272,7 @@ func (p *stampPlan) assembleBatch(valB []float64, k int, shift float64, gB []flo
 		gb := gB[int(p.mBr[op])*k:][:len(dst)]
 		coef := p.mCoef[op]
 		for m, g := range gb {
-			dst[m] += g * coef
+			dst[m] += float64(g * coef)
 		}
 	}
 }
@@ -252,8 +280,9 @@ func (p *stampPlan) assembleBatch(valB []float64, k int, shift float64, gB []flo
 // assembleRHSBatch accumulates the branch RHS contributions for all K
 // members into the member-interleaved rhsB ([nv*k], pre-zeroed by the
 // caller) from interleaved conductances gB and node voltages nodeVB.
-// Per lane it is bit-identical to assembleRHS.
+// Per lane it is bit-identical to assembleRHS (kernel pair imex-rhs).
 //
+//dmmvet:pair name=imex-rhs role=batch
 //dmmvet:hotpath
 func (p *stampPlan) assembleRHSBatch(rhsB []float64, k int, gB, nodeVB []float64) {
 	for op, fi := range p.rFi {
@@ -262,7 +291,7 @@ func (p *stampPlan) assembleRHSBatch(rhsB []float64, k int, gB, nodeVB []float64
 		nv := nodeVB[int(p.rNode[op])*k:][:len(dst)]
 		coef := p.rCoef[op]
 		for m, g := range gb {
-			dst[m] += g * coef * nv[m]
+			dst[m] += float64(g * coef * nv[m])
 		}
 	}
 	for op, fi := range p.dFi {
@@ -270,7 +299,7 @@ func (p *stampPlan) assembleRHSBatch(rhsB []float64, k int, gB, nodeVB []float64
 		gb := gB[int(p.dBr[op])*k:][:len(dst)]
 		dc := p.dDC[op]
 		for m, g := range gb {
-			dst[m] += g * dc
+			dst[m] += float64(g * dc)
 		}
 	}
 }

@@ -20,5 +20,5 @@ func (s RampSource) V(t float64) float64 {
 		return 0
 	}
 	u := t / s.TRise
-	return s.Target * (3*u*u - 2*u*u*u)
+	return s.Target * (float64(3*u*u) - float64(2*u*u*u))
 }

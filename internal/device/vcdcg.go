@@ -94,7 +94,7 @@ func (d VCDCG) Rho(s float64) float64 {
 // currentWindow evaluates θ̃((iRef² - i²)/δ): 1 when |i| < iRef, 0 when
 // |i| > iRef (hard form for δ ≤ 0).
 func (d VCDCG) currentWindow(iRef, i, delta float64) float64 {
-	arg := iRef*iRef - i*i
+	arg := float64(iRef*iRef) - float64(i*i)
 	if delta <= 0 || d.Step == nil {
 		if arg > 0 {
 			return 1
@@ -137,14 +137,14 @@ func (d VCDCG) FsOffset(currents []float64) float64 {
 //
 //	ds/dt = -Ks·s(s-1)(2s-1) + offset .
 func (d VCDCG) Fs(s, offset float64) float64 {
-	return -d.Ks*s*(s-1)*(2*s-1) + offset
+	return float64(-d.Ks*s*(s-1)*(float64(2*s)-1)) + offset
 }
 
 // DiDt evaluates the current equation (Eq. 23) for one VCDCG:
 //
 //	di/dt = ρ(s)·f_DCG(v) - γ·ρ(1-s)·i .
 func (d VCDCG) DiDt(v, i, s float64) float64 {
-	return d.Rho(s)*d.FDCG(v) - d.Gamma*d.Rho(1-s)*i
+	return float64(d.Rho(s)*d.FDCG(v)) - float64(d.Gamma*d.Rho(1-s)*i)
 }
 
 // SEquilibria returns the real roots of Fs(s, offset) = 0 sorted
@@ -168,14 +168,14 @@ func (d VCDCG) SEquilibria(offset float64) []SRoot {
 		if cur == 0 || (prev < 0) != (cur < 0) {
 			a, b := lo+(hi-lo)*float64(k-1)/n, s
 			for it := 0; it < 80; it++ {
-				mid := 0.5 * (a + b)
+				mid := float64(0.5 * (a + b))
 				if f(a)*f(mid) <= 0 {
 					b = mid
 				} else {
 					a = mid
 				}
 			}
-			root := 0.5 * (a + b)
+			root := float64(0.5 * (a + b))
 			stable := f(root-1e-6) > 0 && f(root+1e-6) < 0
 			roots = append(roots, SRoot{S: root, Stable: stable})
 		}

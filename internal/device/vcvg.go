@@ -19,7 +19,7 @@ type VCVG struct {
 
 // Eval returns the generated voltage for the given terminal potentials.
 func (g VCVG) Eval(v1, v2, vo float64) float64 {
-	return g.A1*v1 + g.A2*v2 + g.Ao*vo + g.DC
+	return float64(g.A1*v1) + float64(g.A2*v2) + float64(g.Ao*vo) + g.DC
 }
 
 // Coeff returns the coefficient multiplying terminal t (0 → v1, 1 → v2,

@@ -78,8 +78,10 @@ func sparseMask(mask []bool, k int) bool {
 // refactorLane is the strided scalar twin of Refactor for one member
 // lane: the identical op sequence, indexing the interleaved arrays with
 // stride k. The shared scatter workspace is left all-zero behind it, so
-// blocked and strided calls interleave freely.
+// blocked and strided calls interleave freely. Batch twin of Refactor
+// (kernel pair sparse-refactor).
 //
+//dmmvet:pair name=sparse-refactor role=batch
 //dmmvet:hotpath
 func (f *SparseLU) refactorLane(bf *BatchFactor, valB []float64, m int) error {
 	k := bf.k
@@ -103,7 +105,7 @@ func (f *SparseLU) refactorLane(bf *BatchFactor, valB []float64, m int) error {
 			li := liAll[f.lp[c]:f.lp[c+1]]
 			base := int(f.lp[c])
 			for s, r := range li {
-				x[int(r)*k+m] -= lxB[(base+s)*k+m] * xk
+				x[int(r)*k+m] -= float64(lxB[(base+s)*k+m] * xk)
 			}
 		}
 		d := x[j*k+m]
@@ -215,7 +217,7 @@ func (f *SparseLU) RefactorBatch(bf *BatchFactor, valB []float64, mask []bool) e
 					xr := x[int(r)*k:][:len(xkb)]
 					lx := lxB[(lxRowBase+s)*k:][:len(xkb)]
 					for m, xk := range xkb {
-						xr[m] -= lx[m] * xk
+						xr[m] -= float64(lx[m] * xk)
 					}
 				}
 			} else {
@@ -224,7 +226,7 @@ func (f *SparseLU) RefactorBatch(bf *BatchFactor, valB []float64, mask []bool) e
 					lx := lxB[(lxRowBase+s)*k:][:len(xkb)]
 					for m, xk := range xkb {
 						if xk != 0 {
-							xr[m] -= lx[m] * xk
+							xr[m] -= float64(lx[m] * xk)
 						}
 					}
 				}
@@ -332,7 +334,7 @@ func (f *SparseLU) SolveBatchInto(dst, b []float64, bf *BatchFactor, mask []bool
 				yr := y[int(r)*k:][:len(yj)]
 				lx := lxB[(base+s)*k:][:len(yj)]
 				for m, v := range yj {
-					yr[m] -= lx[m] * v
+					yr[m] -= float64(lx[m] * v)
 				}
 			}
 		} else {
@@ -341,7 +343,7 @@ func (f *SparseLU) SolveBatchInto(dst, b []float64, bf *BatchFactor, mask []bool
 				lx := lxB[(base+s)*k:][:len(yj)]
 				for m, v := range yj {
 					if v != 0 {
-						yr[m] -= lx[m] * v
+						yr[m] -= float64(lx[m] * v)
 					}
 				}
 			}
@@ -367,7 +369,7 @@ func (f *SparseLU) SolveBatchInto(dst, b []float64, bf *BatchFactor, mask []bool
 				yr := y[int(r)*k:][:len(yj)]
 				ux := uxB[(base+t)*k:][:len(yj)]
 				for m, v := range yj {
-					yr[m] -= ux[m] * v
+					yr[m] -= float64(ux[m] * v)
 				}
 			}
 		} else {
@@ -376,7 +378,7 @@ func (f *SparseLU) SolveBatchInto(dst, b []float64, bf *BatchFactor, mask []bool
 				ux := uxB[(base+t)*k:][:len(yj)]
 				for m, v := range yj {
 					if v != 0 {
-						yr[m] -= ux[m] * v
+						yr[m] -= float64(ux[m] * v)
 					}
 				}
 			}
@@ -399,8 +401,9 @@ func (f *SparseLU) SolveBatchInto(dst, b []float64, bf *BatchFactor, mask []bool
 
 // solveLaneInto is the strided scalar twin of SolveInto for one member
 // lane, including the yj == 0 column skips. Lanes of the shared workspace
-// y outside m are never read or written.
+// y outside m are never read or written (kernel pair sparse-solve).
 //
+//dmmvet:pair name=sparse-solve role=batch
 //dmmvet:hotpath
 func (f *SparseLU) solveLaneInto(dst, b []float64, bf *BatchFactor, m int) {
 	k := bf.k
@@ -418,7 +421,7 @@ func (f *SparseLU) solveLaneInto(dst, b []float64, bf *BatchFactor, m int) {
 		li := f.li[f.lp[j]:f.lp[j+1]]
 		base := int(f.lp[j])
 		for s, r := range li {
-			y[int(r)*k+m] -= lxB[(base+s)*k+m] * yj
+			y[int(r)*k+m] -= float64(lxB[(base+s)*k+m] * yj)
 		}
 	}
 	// Back solve U·w = z (diagonal last in each column).
@@ -432,7 +435,7 @@ func (f *SparseLU) solveLaneInto(dst, b []float64, bf *BatchFactor, m int) {
 		ui := f.ui[f.up[j]:uEnd]
 		base := int(f.up[j])
 		for t, r := range ui {
-			y[int(r)*k+m] -= uxB[(base+t)*k+m] * yj
+			y[int(r)*k+m] -= float64(uxB[(base+t)*k+m] * yj)
 		}
 	}
 	for i := 0; i < f.n; i++ {
@@ -491,12 +494,12 @@ func (m *CSR) ResidualNormBatchInto(dst, b, v, valB []float64, k int, norms []fl
 			vl := valB[t*k : t*k+k]
 			if mask == nil {
 				for l := range di {
-					di[l] -= vl[l] * vr[l]
+					di[l] -= float64(vl[l] * vr[l])
 				}
 			} else {
 				for l, on := range mask {
 					if on {
-						di[l] -= vl[l] * vr[l]
+						di[l] -= float64(vl[l] * vr[l])
 					}
 				}
 			}
@@ -516,15 +519,16 @@ func (m *CSR) ResidualNormBatchInto(dst, b, v, valB []float64, k int, norms []fl
 }
 
 // residualNormLane is the strided scalar twin of ResidualNormInto for
-// one member lane.
+// one member lane (kernel pair residual).
 //
+//dmmvet:pair name=residual role=batch
 //dmmvet:hotpath
 func (m *CSR) residualNormLane(dst, b, v, valB []float64, k int, norms []float64, l int) {
 	norm := 0.0
 	for i := 0; i < m.Rows; i++ {
 		s := b[i*k+l]
 		for t := m.RowPtr[i]; t < m.RowPtr[i+1]; t++ {
-			s -= valB[t*k+l] * v[m.ColIdx[t]*k+l]
+			s -= float64(valB[t*k+l] * v[m.ColIdx[t]*k+l])
 		}
 		dst[i*k+l] = s
 		if s < 0 {

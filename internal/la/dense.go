@@ -61,7 +61,7 @@ func (m *Dense) MulVec(dst, v Vector) {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float64
 		for j, a := range row {
-			s += a * v[j]
+			s += float64(a * v[j])
 		}
 		dst[i] = s
 	}
@@ -80,7 +80,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 				continue
 			}
 			for j := 0; j < b.Cols; j++ {
-				out.Data[i*out.Cols+j] += a * b.At(k, j)
+				out.Data[i*out.Cols+j] += float64(a * b.At(k, j))
 			}
 		}
 	}
@@ -138,7 +138,7 @@ func Factorize(a *Dense) (*LU, error) {
 				continue
 			}
 			for j := k + 1; j < n; j++ {
-				lu[i*n+j] -= m * lu[k*n+j]
+				lu[i*n+j] -= float64(m * lu[k*n+j])
 			}
 		}
 	}
@@ -180,7 +180,7 @@ func (f *LU) solveInPlace(x, b Vector) {
 		var s float64
 		row := f.lu[i*n : i*n+i]
 		for j, l := range row {
-			s += l * x[j]
+			s += float64(l * x[j])
 		}
 		x[i] -= s
 	}
@@ -188,7 +188,7 @@ func (f *LU) solveInPlace(x, b Vector) {
 	for i := n - 1; i >= 0; i-- {
 		var s float64
 		for j := i + 1; j < n; j++ {
-			s += f.lu[i*n+j] * x[j]
+			s += float64(f.lu[i*n+j] * x[j])
 		}
 		x[i] = (x[i] - s) / f.lu[i*n+i]
 	}

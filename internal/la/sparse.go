@@ -87,7 +87,7 @@ func (m *CSR) MulVec(dst, v Vector) {
 	for i := 0; i < m.Rows; i++ {
 		var s float64
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * v[m.ColIdx[k]]
+			s += float64(m.Val[k] * v[m.ColIdx[k]])
 		}
 		dst[i] = s
 	}
@@ -101,9 +101,9 @@ func (m *CSR) MulVecAdd(dst Vector, c float64, v Vector) {
 	for i := 0; i < m.Rows; i++ {
 		var s float64
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * v[m.ColIdx[k]]
+			s += float64(m.Val[k] * v[m.ColIdx[k]])
 		}
-		dst[i] += c * s
+		dst[i] += float64(c * s)
 	}
 }
 
@@ -111,8 +111,9 @@ func (m *CSR) MulVecAdd(dst Vector, c float64, v Vector) {
 // single pass over the matrix — the inner kernel of iterative
 // refinement, fused so the residual costs one sweep of the nonzeros
 // instead of a copy, a multiply-add and a norm pass. dst may alias b but
-// not v.
+// not v. Scalar twin of residualNormLane (kernel pair residual).
 //
+//dmmvet:pair name=residual role=scalar
 //dmmvet:hotpath
 func (m *CSR) ResidualNormInto(dst, b, v Vector) float64 {
 	if len(v) != m.Cols || len(b) != m.Rows || len(dst) != m.Rows {
@@ -122,7 +123,7 @@ func (m *CSR) ResidualNormInto(dst, b, v Vector) float64 {
 	for i := 0; i < m.Rows; i++ {
 		s := b[i]
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s -= m.Val[k] * v[m.ColIdx[k]]
+			s -= float64(m.Val[k] * v[m.ColIdx[k]])
 		}
 		dst[i] = s
 		if s < 0 {

@@ -247,7 +247,9 @@ func (f *SparseLU) SetFactor(nf *Factor) {
 
 // Refactor recomputes the numeric factorization from the bound matrix's
 // current values, reusing the symbolic structure. It allocates nothing.
+// Scalar twin of refactorLane (kernel pair sparse-refactor).
 //
+//dmmvet:pair name=sparse-refactor role=scalar
 //dmmvet:hotpath
 func (f *SparseLU) Refactor() error {
 	tok := f.Spans.Begin()
@@ -275,7 +277,10 @@ func (f *SparseLU) Refactor() error {
 			lx := lxAll[f.lp[k]:f.lp[k+1]]
 			lx = lx[:len(li)]
 			for s, r := range li {
-				x[r] -= lx[s] * xk
+				// float64(…) pins the multiply-subtract to two roundings:
+				// the Go spec lets x[r] - lx[s]*xk fuse into an FMA on
+				// arm64, and factor bits must not depend on GOARCH.
+				x[r] -= float64(lx[s] * xk)
 			}
 		}
 		d := x[j]
@@ -298,8 +303,10 @@ func (f *SparseLU) Refactor() error {
 }
 
 // SolveInto solves A·x = b into dst using the current factorization. dst
-// may alias b. It allocates nothing.
+// may alias b. It allocates nothing. Scalar twin of solveLaneInto
+// (kernel pair sparse-solve).
 //
+//dmmvet:pair name=sparse-solve role=scalar
 //dmmvet:hotpath
 func (f *SparseLU) SolveInto(dst, b Vector) {
 	if len(b) != f.n || len(dst) != f.n {
@@ -320,7 +327,7 @@ func (f *SparseLU) SolveInto(dst, b Vector) {
 		lx := f.lx[f.lp[j]:f.lp[j+1]]
 		lx = lx[:len(li)]
 		for s, r := range li {
-			y[r] -= lx[s] * yj
+			y[r] -= float64(lx[s] * yj) // rounding barrier: no FMA fusion
 		}
 	}
 	// Back solve U·w = z (diagonal last in each column).
@@ -335,7 +342,7 @@ func (f *SparseLU) SolveInto(dst, b Vector) {
 		ux := f.ux[f.up[j]:uEnd]
 		ux = ux[:len(ui)]
 		for t, r := range ui {
-			y[r] -= ux[t] * yj
+			y[r] -= float64(ux[t] * yj) // rounding barrier: no FMA fusion
 		}
 	}
 	for k := 0; k < f.n; k++ {

@@ -69,7 +69,7 @@ func (v Vector) Scale(c float64) {
 // AXPY sets v = v + c*w.
 func (v Vector) AXPY(c float64, w Vector) {
 	for i := range v {
-		v[i] += c * w[i]
+		v[i] += float64(c * w[i])
 	}
 }
 
@@ -77,7 +77,7 @@ func (v Vector) AXPY(c float64, w Vector) {
 func (v Vector) Dot(w Vector) float64 {
 	var s float64
 	for i := range v {
-		s += v[i] * w[i]
+		s += float64(v[i] * w[i])
 	}
 	return s
 }

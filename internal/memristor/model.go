@@ -39,10 +39,14 @@ func Default() Model {
 func (m Model) R1() float64 { return m.Roff - m.Ron }
 
 // M returns the memristance M(x) = Ron(1-x) + Roff·x (Eq. 18).
-func (m Model) M(x float64) float64 { return m.Ron*(1-x) + m.Roff*x }
+func (m Model) M(x float64) float64 { return float64(m.Ron*(1-x)) + float64(m.Roff*x) }
 
-// G returns the conductance g(x) = 1/(R1·x + Ron) (Eq. 26).
-func (m Model) G(x float64) float64 { return 1 / (m.R1()*x + m.Ron) }
+// G returns the conductance g(x) = 1/(R1·x + Ron) (Eq. 26). The
+// float64(...) around the product is an explicit rounding barrier: it
+// keeps R1·x from fusing into the add as an FMA on arm64, so g(x) is
+// bit-identical across architectures (and to the flattened batch
+// kernels, which spell the same barrier).
+func (m Model) G(x float64) float64 { return 1 / (float64(m.R1()*x) + m.Ron) }
 
 // theta evaluates the voltage gate of Eq. (40): θ̃_r(v / 2Vt), reducing to
 // the Heaviside θ(v) when Vt ≤ 0 or no smooth step is configured.
@@ -102,6 +106,71 @@ func (m Model) DxDt(x, vM float64) float64 {
 	return -m.Alpha * m.H(x, vM) * m.G(x) * vM
 }
 
+// Advance returns the explicit memristor update for one device:
+//
+//	Clamp(x' + h·DxDt(x', σ·d)),  x' = Clamp(x).
+//
+// It is the scalar twin of AdvanceRow — the identical operation
+// sequence minus the lane loop (the hoisted loop constants fold into
+// straight-line code), so the scalar and batch steppers advance slow
+// state through the same arithmetic. The kernelpair analyzer proves the
+// normalized op sequences equal at vet time; the property tests check
+// bit-identity against the Clamp/DxDt composition at run time. The
+// float64(...) barriers pin the FMA-fusable products to two roundings
+// on every architecture (bit-neutral where the compiler was not fusing
+// anyway).
+//
+//dmmvet:pair name=mem-advance role=scalar
+//dmmvet:hotpath
+func (m Model) Advance(h, sigma, x, d float64) float64 {
+	hardK := math.IsInf(m.K, 1)
+	hardT := m.Vt <= 0 || m.Step == nil
+	nk := -m.K
+	na := -m.Alpha
+	r1 := m.Roff - m.Ron
+	ron := m.Ron
+	vt2 := 2 * m.Vt
+	step := m.Step
+	xi := x
+	if xi < 0 {
+		xi = 0
+	} else if xi > 1 {
+		xi = 1
+	}
+	vM := sigma * d
+	// h(x, vM) of Eq. (31)/(40), flattened: pick the blocking side,
+	// then its window and (for soft thresholds) the θ̃ gate.
+	var hv float64
+	if vM != 0 {
+		dist := xi // distance from the blocking boundary
+		if vM < 0 {
+			dist = 1 - xi
+		}
+		if hardK {
+			if dist > 0 {
+				hv = 1
+			}
+		} else if dist != 0 {
+			hv = 1 - math.Exp(nk*dist)
+		}
+		if !hardT {
+			av := vM
+			if av < 0 {
+				av = -av
+			}
+			hv *= step.Eval(av / vt2)
+		}
+	}
+	g := 1 / (float64(r1*xi) + ron)
+	xn := xi + float64(h*(na*hv*g*vM))
+	if xn < 0 {
+		xn = 0
+	} else if xn > 1 {
+		xn = 1
+	}
+	return xn
+}
+
 // AdvanceRow performs the explicit memristor update
 //
 //	x[m] ← Clamp(x' + h·DxDt(x', σ·d[m])),  x' = Clamp(x[m]),
@@ -114,6 +183,7 @@ func (m Model) DxDt(x, vM float64) float64 {
 // the θ factor on the hard-threshold branches is exact: θ is 1 there and
 // w·1 ≡ w in IEEE arithmetic for every w including ±0 and NaN.
 //
+//dmmvet:pair name=mem-advance role=batch
 //dmmvet:hotpath
 func (m Model) AdvanceRow(h, sigma float64, x, d []float64) {
 	hardK := math.IsInf(m.K, 1)
@@ -155,8 +225,8 @@ func (m Model) AdvanceRow(h, sigma float64, x, d []float64) {
 				hv *= step.Eval(av / vt2)
 			}
 		}
-		g := 1 / (r1*xi + ron)
-		xn := xi + h*(na*hv*g*vM)
+		g := 1 / (float64(r1*xi) + ron)
+		xn := xi + float64(h*(na*hv*g*vM))
 		if xn < 0 {
 			xn = 0
 		} else if xn > 1 {

@@ -182,6 +182,51 @@ func TestWindowZeroFastPathBitIdentical(t *testing.T) {
 	}
 }
 
+// TestAdvanceBitIdentical pins the scalar Advance kernel to the
+// composition Clamp(Clamp(x) + h·DxDt(Clamp(x), σ·d)) bitwise, and to
+// its batch twin AdvanceRow lane for lane — the runtime half of the
+// mem-advance kernel-pair contract (the kernelpair analyzer proves the
+// op sequences equal statically).
+func TestAdvanceBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	models := []Model{Default()}
+	soft := Default()
+	soft.Alpha, soft.K, soft.Vt = 0.5, 20, 0.05
+	models = append(models, soft)
+	hardStep := soft
+	hardStep.Step = nil
+	models = append(models, hardStep)
+	for mi, m := range models {
+		for trial := 0; trial < 500; trial++ {
+			h := 1e-3 * (0.5 + rng.Float64())
+			sigma := 1.0
+			if rng.Intn(2) == 0 {
+				sigma = -1
+			}
+			x := rng.Float64()*1.4 - 0.2
+			if rng.Intn(4) == 0 {
+				x = float64(rng.Intn(2))
+			}
+			d := 2 * (rng.Float64() - 0.5)
+			if rng.Intn(5) == 0 {
+				d = 0
+			}
+			xi := Clamp(x)
+			want := Clamp(xi + h*m.DxDt(xi, sigma*d))
+			if got := m.Advance(h, sigma, x, d); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("model %d trial %d: Advance %v (%#x), scalar composition %v (%#x) [x=%v d=%v]",
+					mi, trial, got, math.Float64bits(got), want, math.Float64bits(want), x, d)
+			}
+			row := []float64{x}
+			m.AdvanceRow(h, sigma, row, []float64{d})
+			if math.Float64bits(row[0]) != math.Float64bits(m.Advance(h, sigma, x, d)) {
+				t.Fatalf("model %d trial %d: AdvanceRow %v, Advance %v [x=%v d=%v]",
+					mi, trial, row[0], m.Advance(h, sigma, x, d), x, d)
+			}
+		}
+	}
+}
+
 // TestAdvanceRowBitIdentical pins the flattened batch row kernel to the
 // scalar composition Clamp(Clamp(x) + h·DxDt(Clamp(x), σ·d)) bitwise, over
 // hard and soft windows and thresholds, boundary states, and zero drops.

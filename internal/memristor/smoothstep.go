@@ -82,7 +82,7 @@ func (s *SmoothStep) Eval(y float64) float64 {
 	// Horner on Σ coef[i] y^{r+1+i} = y^{r+1} Σ coef[i] y^i.
 	var p float64
 	for i := len(s.coef) - 1; i >= 0; i-- {
-		p = p*y + s.coef[i]
+		p = float64(p*y) + s.coef[i]
 	}
 	return p * powi(y, s.R+1)
 }
@@ -109,7 +109,7 @@ func regIncompleteBeta(a, b, x float64) float64 {
 		return 1
 	}
 	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
-	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	front := math.Exp(float64(a*math.Log(x))+float64(b*math.Log(1-x))-lbeta) / a
 	if x > (a+1)/(a+b+2) {
 		return 1 - regIncompleteBeta(b, a, 1-x)
 	}
@@ -122,12 +122,12 @@ func regIncompleteBeta(a, b, x float64) float64 {
 			num = 1
 		} else if m%2 == 0 {
 			k := float64(m / 2)
-			num = k * (b - k) * x / ((a + 2*k - 1) * (a + 2*k))
+			num = k * (b - k) * x / ((a + float64(2*k) - 1) * (a + float64(2*k)))
 		} else {
 			k := float64((m - 1) / 2)
-			num = -((a + k) * (a + b + k) * x) / ((a + 2*k) * (a + 2*k + 1))
+			num = -((a + k) * (a + b + k) * x) / ((a + float64(2*k)) * (a + float64(2*k) + 1))
 		}
-		d = 1 + num*d
+		d = 1 + float64(num*d)
 		if math.Abs(d) < tiny {
 			d = tiny
 		}
@@ -137,7 +137,7 @@ func regIncompleteBeta(a, b, x float64) float64 {
 			c = tiny
 		}
 		f *= c * d
-		if math.Abs(1-c*d) < 1e-15 {
+		if math.Abs(1-float64(c*d)) < 1e-15 {
 			break
 		}
 	}
@@ -157,7 +157,7 @@ func (s *SmoothStep) Deriv(y float64) float64 {
 	var p float64
 	for i := len(s.coef) - 1; i >= 0; i-- {
 		k := float64(s.R + 1 + i)
-		p = p*y + k*s.coef[i]
+		p = float64(p*y) + float64(k*s.coef[i])
 	}
 	return p * powi(y, s.R)
 }
@@ -170,7 +170,7 @@ func (s *SmoothStep) Deriv2(y float64) float64 {
 	var p float64
 	for i := len(s.coef) - 1; i >= 0; i-- {
 		k := float64(s.R + 1 + i)
-		p = p*y + k*(k-1)*s.coef[i]
+		p = float64(p*y) + float64(k*(k-1)*s.coef[i])
 	}
 	if s.R == 0 {
 		return 0

@@ -103,7 +103,7 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 	}
 	hMin, hMax := d.HMin, d.HMax
 	if hMin <= 0 {
-		hMin = h * 1e-6
+		hMin = float64(h * 1e-6)
 	}
 	if hMax <= 0 {
 		hMax = h * 1e3
@@ -165,7 +165,7 @@ func (d *Driver) Run(sys System, t0 float64, x la.Vector) Result {
 				if shrink < 0.1 {
 					shrink = 0.1
 				}
-				h = hTry * shrink
+				h = float64(hTry * shrink)
 				if h < hMin {
 					return Result{T: t, Reason: StopError,
 						Err: fmt.Errorf("%w: adaptive step underflow (err=%.3g tol=%.3g)", ErrStepFailure, errEst, tol)}

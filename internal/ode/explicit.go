@@ -64,7 +64,7 @@ func (s *Heun) Step(sys System, t, h float64, x la.Vector) (float64, error) {
 	s.xt.AXPY(h, s.k1)
 	sys.Derivative(t+h, s.xt, s.k2)
 	for i := range x {
-		x[i] += h * 0.5 * (s.k1[i] + s.k2[i])
+		x[i] += float64(h * 0.5 * (s.k1[i] + s.k2[i]))
 	}
 	if s.stats != nil {
 		s.stats.FEvals += 2
@@ -102,19 +102,19 @@ func (s *RK4) Step(sys System, t, h float64, x la.Vector) (float64, error) {
 	}
 	sys.Derivative(t, x, s.k1)
 	for i := range x {
-		s.xt[i] = x[i] + 0.5*h*s.k1[i]
+		s.xt[i] = x[i] + float64(0.5*h*s.k1[i])
 	}
-	sys.Derivative(t+0.5*h, s.xt, s.k2)
+	sys.Derivative(t+float64(0.5*h), s.xt, s.k2)
 	for i := range x {
-		s.xt[i] = x[i] + 0.5*h*s.k2[i]
+		s.xt[i] = x[i] + float64(0.5*h*s.k2[i])
 	}
-	sys.Derivative(t+0.5*h, s.xt, s.k3)
+	sys.Derivative(t+float64(0.5*h), s.xt, s.k3)
 	for i := range x {
-		s.xt[i] = x[i] + h*s.k3[i]
+		s.xt[i] = x[i] + float64(h*s.k3[i])
 	}
 	sys.Derivative(t+h, s.xt, s.k4)
 	for i := range x {
-		x[i] += h / 6 * (s.k1[i] + 2*s.k2[i] + 2*s.k3[i] + s.k4[i])
+		x[i] += float64(h / 6 * (s.k1[i] + float64(2*s.k2[i]) + float64(2*s.k3[i]) + s.k4[i]))
 	}
 	if s.stats != nil {
 		s.stats.FEvals += 4

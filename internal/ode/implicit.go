@@ -67,7 +67,7 @@ func (s *Trapezoidal) Step(sys System, t, h float64, x la.Vector) (float64, erro
 		// Residual R(xg) = xg - x - h/2 (f0 + F(t+h, xg)).
 		var rinf float64
 		for i := 0; i < n; i++ {
-			s.res[i] = s.xg[i] - x[i] - 0.5*h*(s.f0[i]+s.fg[i])
+			s.res[i] = s.xg[i] - x[i] - float64(0.5*h*(s.f0[i]+s.fg[i]))
 			if a := math.Abs(s.res[i]); a > rinf {
 				rinf = a
 			}
@@ -101,7 +101,7 @@ func (s *Trapezoidal) Step(sys System, t, h float64, x la.Vector) (float64, erro
 			}
 			var rNew float64
 			for i := 0; i < n; i++ {
-				r := s.xp[i] - x[i] - 0.5*h*(s.f0[i]+s.fg[i])
+				r := s.xp[i] - x[i] - float64(0.5*h*(s.f0[i]+s.fg[i]))
 				if a := math.Abs(r); a > rNew {
 					rNew = a
 				}
@@ -136,7 +136,7 @@ func (s *Trapezoidal) refreshJacobian(sys System, t, h float64) error {
 	sys.Derivative(t, s.xg, base)
 	pert := la.NewVector(n)
 	for j := 0; j < n; j++ {
-		eps := 1e-7 * (1 + math.Abs(s.xg[j]))
+		eps := float64(1e-7 * (1 + math.Abs(s.xg[j])))
 		old := s.xg[j]
 		s.xg[j] = old + eps
 		sys.Derivative(t, s.xg, pert)

@@ -63,17 +63,17 @@ func (s *RK45) Step(sys System, t, h float64, x la.Vector) (float64, error) {
 				s.xt.AXPY(h*b, s.k[j])
 			}
 		}
-		sys.Derivative(t+ckA[stage]*h, s.xt, s.k[stage])
+		sys.Derivative(t+float64(ckA[stage]*h), s.xt, s.k[stage])
 	}
 	var errInf float64
 	for i := 0; i < n; i++ {
 		var d5, d4 float64
 		for stage := 0; stage < 6; stage++ {
 			ki := s.k[stage][i]
-			d5 += ckC5[stage] * ki
-			d4 += ckC4[stage] * ki
+			d5 += float64(ckC5[stage] * ki)
+			d4 += float64(ckC4[stage] * ki)
 		}
-		x[i] = s.x0[i] + h*d5
+		x[i] = s.x0[i] + float64(h*d5)
 		if e := math.Abs(h * (d5 - d4)); e > errInf {
 			errInf = e
 		}

@@ -383,7 +383,7 @@ func solveResistorVCVG(specs []clampSpec, slot int, cfgs [][3]float64, vc float6
 		vt := c[slot]
 		sumM := 0.0
 		for _, s := range specs {
-			l := s.a1*c[0] + s.a2*c[1] + s.ao*c[2] + s.dc
+			l := float64(s.a1*c[0]) + float64(s.a2*c[1]) + float64(s.ao*c[2]) + s.dc
 			d := vt - l
 			if s.sigma*d > 1e-9 {
 				return device.VCVG{}, fmt.Errorf("clamp violated at correct config %v (d=%v σ=%v)", c, d, s.sigma)
@@ -424,7 +424,7 @@ func solveLeastSquares(a *la.Dense, b la.Vector) (la.Vector, error) {
 			if aij == 0 {
 				continue
 			}
-			atb[j] += aij * b[i]
+			atb[j] += float64(aij * b[i])
 			for k := 0; k < n; k++ {
 				ata.Addf(j, k, aij*a.At(i, k))
 			}
